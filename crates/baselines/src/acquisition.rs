@@ -1,0 +1,103 @@
+//! Acquisition functions for Bayesian optimization.
+//!
+//! Expected Improvement for minimization:
+//!
+//! ```text
+//! EI(x) = (y* − μ(x) − ξ) Φ(z) + σ(x) φ(z),   z = (y* − μ(x) − ξ) / σ(x)
+//! ```
+//!
+//! where `y*` is the incumbent (best observed) value and ξ a small
+//! exploration margin. Φ/φ are computed via an Abramowitz–Stegun erf
+//! approximation — accurate to ~1.5e-7, far below measurement noise.
+
+/// Standard normal probability density.
+pub fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Error function, Abramowitz & Stegun 7.1.26 (|ε| ≤ 1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal cumulative distribution.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Expected improvement (minimization) at a point with posterior
+/// `(mean, variance)` given incumbent `best` and exploration margin `xi`.
+pub fn expected_improvement(mean: f64, variance: f64, best: f64, xi: f64) -> f64 {
+    let sigma = variance.max(0.0).sqrt();
+    if sigma < 1e-12 {
+        return (best - mean - xi).max(0.0);
+    }
+    let improvement = best - mean - xi;
+    let z = improvement / sigma;
+    (improvement * normal_cdf(z) + sigma * normal_pdf(z)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_matches_known_values() {
+        // erf(0) = 0, erf(1) ≈ 0.8427008, erf(−1) = −erf(1), erf(∞) → 1.
+        assert!(erf(0.0).abs() < 1e-8);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + erf(1.0)).abs() < 1e-12);
+        assert!((erf(5.0) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_symmetric() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-8);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        let mut prev = 0.0;
+        for i in -40..=40 {
+            let c = normal_cdf(i as f64 / 10.0);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn ei_prefers_low_mean_at_equal_uncertainty() {
+        let best = 10.0;
+        let a = expected_improvement(8.0, 1.0, best, 0.0);
+        let b = expected_improvement(9.5, 1.0, best, 0.0);
+        assert!(a > b);
+    }
+
+    #[test]
+    fn ei_prefers_uncertainty_at_equal_mean() {
+        let best = 10.0;
+        let certain = expected_improvement(10.5, 0.01, best, 0.0);
+        let uncertain = expected_improvement(10.5, 4.0, best, 0.0);
+        assert!(uncertain > certain);
+    }
+
+    #[test]
+    fn ei_is_nonnegative_and_zero_when_hopeless() {
+        assert_eq!(expected_improvement(100.0, 0.0, 10.0, 0.0), 0.0);
+        for mean in [0.0, 5.0, 20.0] {
+            for var in [0.0, 1.0, 10.0] {
+                assert!(expected_improvement(mean, var, 10.0, 0.01) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn xi_margin_discounts_marginal_improvements() {
+        let no_margin = expected_improvement(9.9, 0.01, 10.0, 0.0);
+        let margin = expected_improvement(9.9, 0.01, 10.0, 0.5);
+        assert!(no_margin > margin);
+    }
+}

@@ -1,0 +1,214 @@
+//! Gaussian-process regression with an RBF kernel.
+//!
+//! The surrogate model behind the Bayesian-optimization comparator.
+//! Observations live in the *scaled* configuration space (every dimension
+//! in the same `[1, 20]` range — the same normalization NoStop uses), so a
+//! single isotropic length scale is appropriate. Targets are centered; the
+//! posterior reverts to the prior mean away from data.
+
+use crate::linalg::{cholesky_solve, dot, solve_lower, Matrix};
+
+/// RBF (squared-exponential) kernel hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Kernel {
+    /// Signal variance σ_f².
+    pub signal_variance: f64,
+    /// Length scale ℓ (isotropic, scaled space).
+    pub length_scale: f64,
+    /// Observation noise variance σ_n².
+    pub noise_variance: f64,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel {
+            signal_variance: 25.0,
+            length_scale: 4.0,
+            noise_variance: 1.0,
+        }
+    }
+}
+
+impl Kernel {
+    /// Kernel value `k(a, b)`.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum();
+        self.signal_variance * (-d2 / (2.0 * self.length_scale * self.length_scale)).exp()
+    }
+}
+
+/// A Gaussian-process regressor.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    kernel: Kernel,
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    y_mean: f64,
+    /// Cholesky factor of `K + σ_n² I`.
+    chol: Option<Matrix>,
+    /// `(K + σ_n² I)⁻¹ (y − ȳ)`.
+    alpha: Vec<f64>,
+}
+
+impl GaussianProcess {
+    /// An empty GP with the given kernel.
+    pub fn new(kernel: Kernel) -> Self {
+        GaussianProcess {
+            kernel,
+            x: Vec::new(),
+            y: Vec::new(),
+            y_mean: 0.0,
+            chol: None,
+            alpha: Vec::new(),
+        }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when no observations have been added.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// The smallest observed target, if any.
+    pub fn best_y(&self) -> Option<f64> {
+        self.y.iter().copied().fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) => a.min(v),
+            })
+        })
+    }
+
+    /// Add an observation and refit.
+    pub fn add(&mut self, x: Vec<f64>, y: f64) {
+        assert!(y.is_finite(), "target must be finite");
+        if let Some(first) = self.x.first() {
+            assert_eq!(first.len(), x.len(), "dimension mismatch");
+        }
+        self.x.push(x);
+        self.y.push(y);
+        self.refit();
+    }
+
+    fn refit(&mut self) {
+        let n = self.x.len();
+        self.y_mean = self.y.iter().sum::<f64>() / n as f64;
+        let centered: Vec<f64> = self.y.iter().map(|v| v - self.y_mean).collect();
+        // Build K + σ_n² I with a small jitter for numerical safety.
+        let jitter = 1e-8 * self.kernel.signal_variance.max(1.0);
+        let k = Matrix::from_fn(n, |i, j| {
+            self.kernel.eval(&self.x[i], &self.x[j])
+                + if i == j {
+                    self.kernel.noise_variance + jitter
+                } else {
+                    0.0
+                }
+        });
+        let chol = k
+            .cholesky()
+            .expect("kernel matrix with noise must be positive definite");
+        self.alpha = cholesky_solve(&chol, &centered);
+        self.chol = Some(chol);
+    }
+
+    /// Posterior mean and variance at `x`.
+    ///
+    /// With no observations this is the prior: `(0-centered mean, σ_f²)`.
+    pub fn posterior(&self, x: &[f64]) -> (f64, f64) {
+        let Some(chol) = &self.chol else {
+            return (self.y_mean, self.kernel.signal_variance);
+        };
+        let k_star: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let mean = self.y_mean + dot(&k_star, &self.alpha);
+        let v = solve_lower(chol, &k_star);
+        let var = (self.kernel.eval(x, x) - dot(&v, &v)).max(1e-12);
+        (mean, var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gp_with(points: &[(&[f64], f64)]) -> GaussianProcess {
+        let mut gp = GaussianProcess::new(Kernel {
+            signal_variance: 4.0,
+            length_scale: 2.0,
+            noise_variance: 1e-4,
+        });
+        for (x, y) in points {
+            gp.add(x.to_vec(), *y);
+        }
+        gp
+    }
+
+    #[test]
+    fn empty_gp_returns_prior() {
+        let gp = GaussianProcess::new(Kernel::default());
+        let (mean, var) = gp.posterior(&[10.0, 10.0]);
+        assert_eq!(mean, 0.0);
+        assert_eq!(var, Kernel::default().signal_variance);
+        assert!(gp.is_empty());
+        assert_eq!(gp.best_y(), None);
+    }
+
+    #[test]
+    fn interpolates_training_points_with_low_noise() {
+        let gp = gp_with(&[(&[1.0, 1.0], 3.0), (&[5.0, 5.0], 7.0), (&[9.0, 2.0], 1.0)]);
+        for (x, y) in [(&[1.0, 1.0], 3.0), (&[5.0, 5.0], 7.0), (&[9.0, 2.0], 1.0)] {
+            let (mean, var) = gp.posterior(x);
+            assert!((mean - y).abs() < 0.05, "mean {mean} vs {y}");
+            assert!(var < 0.05, "var {var}");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let gp = gp_with(&[(&[5.0, 5.0], 2.0)]);
+        let (_, var_near) = gp.posterior(&[5.5, 5.0]);
+        let (_, var_far) = gp.posterior(&[19.0, 19.0]);
+        assert!(var_far > var_near);
+        // Far from data the posterior reverts to the (centered) prior mean.
+        let (mean_far, _) = gp.posterior(&[19.0, 19.0]);
+        assert!((mean_far - 2.0).abs() < 0.1, "reverts to mean: {mean_far}");
+    }
+
+    #[test]
+    fn posterior_mean_smoothly_interpolates() {
+        let gp = gp_with(&[(&[0.0], 0.0), (&[4.0], 4.0)]);
+        let (mid, _) = gp.posterior(&[2.0]);
+        assert!(mid > 0.5 && mid < 3.5, "between endpoints: {mid}");
+    }
+
+    #[test]
+    fn best_y_tracks_minimum() {
+        let gp = gp_with(&[(&[1.0], 5.0), (&[2.0], 3.0), (&[3.0], 9.0)]);
+        assert_eq!(gp.best_y(), Some(3.0));
+        assert_eq!(gp.len(), 3);
+    }
+
+    #[test]
+    fn handles_many_points_without_numerical_collapse() {
+        let mut gp = GaussianProcess::new(Kernel::default());
+        for i in 0..120 {
+            let x = (i % 20) as f64 + 1.0;
+            let y = (x - 10.0).powi(2) / 5.0 + ((i * 7) % 3) as f64 * 0.1;
+            gp.add(vec![x, 10.0], y);
+        }
+        // Posterior at the optimum should be lower than at the edge.
+        let (m_opt, _) = gp.posterior(&[10.0, 10.0]);
+        let (m_edge, _) = gp.posterior(&[1.0, 10.0]);
+        assert!(m_opt < m_edge);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_target_rejected() {
+        let mut gp = GaussianProcess::new(Kernel::default());
+        gp.add(vec![1.0], f64::INFINITY);
+    }
+}

@@ -1,0 +1,128 @@
+//! Exhaustive grid search.
+//!
+//! The "naive approach" §1 dismisses as "prohibitively time-consuming":
+//! enumerate a lattice over the configuration space and measure every
+//! point. Included so the benches can quantify exactly *how* prohibitive —
+//! each grid point costs a full reconfiguration + measurement window of
+//! real streaming time.
+
+use crate::tuner::{BestTracker, Tuner};
+use nostop_core::space::ConfigSpace;
+
+/// Enumerates a `points_per_dim`-lattice over the space, row-major.
+pub struct GridSearch {
+    space: ConfigSpace,
+    points_per_dim: usize,
+    next_index: usize,
+    tracker: BestTracker,
+}
+
+impl GridSearch {
+    /// A grid with `points_per_dim` levels per dimension.
+    pub fn new(space: ConfigSpace, points_per_dim: usize) -> Self {
+        assert!(points_per_dim >= 2, "grid needs at least 2 levels");
+        GridSearch {
+            space,
+            points_per_dim,
+            next_index: 0,
+            tracker: BestTracker::default(),
+        }
+    }
+
+    /// Total number of grid points.
+    pub fn total_points(&self) -> usize {
+        self.points_per_dim.pow(self.space.dim() as u32)
+    }
+
+    fn point(&self, mut index: usize) -> Vec<f64> {
+        let mut scaled = Vec::with_capacity(self.space.dim());
+        for _ in 0..self.space.dim() {
+            let level = index % self.points_per_dim;
+            index /= self.points_per_dim;
+            let frac = level as f64 / (self.points_per_dim - 1) as f64;
+            scaled
+                .push(self.space.scaled_lo + frac * (self.space.scaled_hi - self.space.scaled_lo));
+        }
+        self.space.to_physical(&scaled)
+    }
+}
+
+impl Tuner for GridSearch {
+    fn name(&self) -> &'static str {
+        "grid-search"
+    }
+
+    fn propose(&mut self) -> Vec<f64> {
+        let idx = self.next_index.min(self.total_points() - 1);
+        self.next_index += 1;
+        self.point(idx)
+    }
+
+    fn observe(&mut self, physical: &[f64], objective: f64) {
+        self.tracker.observe(physical, objective);
+    }
+
+    fn best(&self) -> Option<(Vec<f64>, f64)> {
+        self.tracker.best()
+    }
+
+    fn evaluations(&self) -> usize {
+        self.tracker.evaluations()
+    }
+
+    fn finished(&self) -> bool {
+        self.next_index >= self.total_points()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_the_full_lattice_once() {
+        let mut gs = GridSearch::new(ConfigSpace::paper_default(), 5);
+        assert_eq!(gs.total_points(), 25);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..25 {
+            assert!(!gs.finished());
+            let p = gs.propose();
+            seen.insert(format!("{:.1},{:.0}", p[0], p[1]));
+            gs.observe(&p, 1.0);
+        }
+        assert!(gs.finished());
+        assert_eq!(seen.len(), 25, "all lattice points distinct");
+    }
+
+    #[test]
+    fn corners_hit_the_physical_extremes() {
+        let mut gs = GridSearch::new(ConfigSpace::paper_default(), 3);
+        let mut points = Vec::new();
+        for _ in 0..9 {
+            points.push(gs.propose());
+        }
+        assert!(points.contains(&vec![1.0, 1.0]));
+        assert!(points.contains(&vec![40.0, 20.0]));
+        // Centre: executors 10.5 rounds half-away-from-zero to 11.
+        assert!(points.contains(&vec![20.5, 11.0]));
+    }
+
+    #[test]
+    fn finds_grid_optimum() {
+        let mut gs = GridSearch::new(ConfigSpace::paper_default(), 9);
+        while !gs.finished() {
+            let p = gs.propose();
+            let y = (p[0] - 20.0).powi(2) + (p[1] - 10.0).powi(2);
+            gs.observe(&p, y);
+        }
+        let (cfg, _) = gs.best().unwrap();
+        assert!((cfg[0] - 20.0).abs() <= 3.0, "{cfg:?}");
+        assert!((cfg[1] - 10.0).abs() <= 2.0, "{cfg:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn degenerate_grid_rejected() {
+        let _ = GridSearch::new(ConfigSpace::paper_default(), 1);
+    }
+}

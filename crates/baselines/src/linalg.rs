@@ -1,0 +1,229 @@
+//! Minimal dense linear algebra for the Gaussian process.
+//!
+//! Only what GP regression needs: symmetric positive-definite matrices,
+//! Cholesky factorization, and triangular solves. Matrices are row-major
+//! `Vec<f64>` with explicit dimension — the GP never exceeds a few hundred
+//! observations, so simplicity beats cleverness here.
+
+/// A square matrix in row-major storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Dimension (rows = cols = n).
+    pub n: usize,
+    /// Row-major entries, length `n * n`.
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Build from a function of `(row, col)`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                m.data[i * n + j] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Entry mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Cholesky factorization `A = L Lᵀ` for symmetric positive-definite
+    /// `A`. Returns the lower-triangular factor, or `None` if the matrix
+    /// is not (numerically) positive definite.
+    pub fn cholesky(&self) -> Option<Matrix> {
+        let n = self.n;
+        let mut l = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return None;
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Some(l)
+    }
+}
+
+/// Solve `L x = b` for lower-triangular `L` (forward substitution).
+pub fn solve_lower(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = l.n;
+    assert_eq!(b.len(), n, "dimension mismatch");
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for (j, xj) in x.iter().enumerate().take(i) {
+            sum -= l.get(i, j) * xj;
+        }
+        x[i] = sum / l.get(i, i);
+    }
+    x
+}
+
+/// Solve `Lᵀ x = b` for lower-triangular `L` (backward substitution).
+pub fn solve_upper_transposed(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = l.n;
+    assert_eq!(b.len(), n, "dimension mismatch");
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for (j, xj) in x.iter().enumerate().skip(i + 1) {
+            sum -= l.get(j, i) * xj;
+        }
+        x[i] = sum / l.get(i, i);
+    }
+    x
+}
+
+/// Solve `A x = b` given the Cholesky factor `L` of `A`.
+pub fn cholesky_solve(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    solve_upper_transposed(l, &solve_lower(l, b))
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index style mirrors the matrix algebra being verified
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A known SPD matrix.
+        Matrix {
+            n: 3,
+            data: vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0],
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs_original() {
+        let a = spd3();
+        let l = a.cholesky().expect("SPD");
+        // L is lower triangular.
+        assert_eq!(l.get(0, 1), 0.0);
+        assert_eq!(l.get(0, 2), 0.0);
+        assert_eq!(l.get(1, 2), 0.0);
+        // L Lᵀ = A.
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += l.get(i, k) * l.get(j, k);
+                }
+                assert!((s - a.get(i, j)).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_non_spd() {
+        let m = Matrix {
+            n: 2,
+            data: vec![1.0, 2.0, 2.0, 1.0], // eigenvalues 3, -1
+        };
+        assert!(m.cholesky().is_none());
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let l = a.cholesky().unwrap();
+        let x_true = [1.0, -2.0, 0.5];
+        // b = A x.
+        let b: Vec<f64> = (0..3)
+            .map(|i| (0..3).map(|j| a.get(i, j) * x_true[j]).sum())
+            .collect();
+        let x = cholesky_solve(&l, &b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn triangular_solves_are_inverses() {
+        let a = spd3();
+        let l = a.cholesky().unwrap();
+        let b = [3.0, 1.0, -2.0];
+        let y = solve_lower(&l, &b);
+        // L y = b.
+        for i in 0..3 {
+            let mut s = 0.0;
+            for j in 0..=i {
+                s += l.get(i, j) * y[j];
+            }
+            assert!((s - b[i]).abs() < 1e-12);
+        }
+        let x = solve_upper_transposed(&l, &y);
+        // Lᵀ x = y.
+        for i in 0..3 {
+            let mut s = 0.0;
+            for j in i..3 {
+                s += l.get(j, i) * x[j];
+            }
+            assert!((s - y[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn identity_round_trip_large() {
+        // Random SPD via AᵀA + n·I, then verify solve accuracy.
+        let n = 40;
+        let mut seed = 1u64;
+        let mut rand01 = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let raw = Matrix::from_fn(n, |_, _| rand01() - 0.5);
+        let a = Matrix::from_fn(n, |i, j| {
+            let mut s = 0.0;
+            for k in 0..n {
+                s += raw.get(k, i) * raw.get(k, j);
+            }
+            s + if i == j { n as f64 } else { 0.0 }
+        });
+        let l = a.cholesky().expect("SPD by construction");
+        let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let x = cholesky_solve(&l, &b);
+        // Residual ‖A x − b‖∞ small.
+        for i in 0..n {
+            let mut s = 0.0;
+            for j in 0..n {
+                s += a.get(i, j) * x[j];
+            }
+            assert!((s - b[i]).abs() < 1e-8);
+        }
+    }
+}

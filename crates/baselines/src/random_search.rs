@@ -1,0 +1,91 @@
+//! Uniform random search over the configuration space.
+//!
+//! The simplest member of the "Random Search" family the paper situates
+//! Bayesian optimization in (§6.4) — a sanity baseline: any model-guided
+//! method must beat it.
+
+use crate::tuner::{BestTracker, Tuner};
+use nostop_core::space::ConfigSpace;
+use nostop_simcore::SimRng;
+
+/// Proposes configurations uniformly at random (in scaled space, then
+/// quantized to physical units).
+pub struct RandomSearch {
+    space: ConfigSpace,
+    rng: SimRng,
+    tracker: BestTracker,
+}
+
+impl RandomSearch {
+    /// A random search over `space`.
+    pub fn new(space: ConfigSpace, seed: u64) -> Self {
+        RandomSearch {
+            space,
+            rng: SimRng::seed_from_u64(seed),
+            tracker: BestTracker::default(),
+        }
+    }
+}
+
+impl Tuner for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random-search"
+    }
+
+    fn propose(&mut self) -> Vec<f64> {
+        let scaled: Vec<f64> = (0..self.space.dim())
+            .map(|_| self.rng.uniform(self.space.scaled_lo, self.space.scaled_hi))
+            .collect();
+        self.space.to_physical(&scaled)
+    }
+
+    fn observe(&mut self, physical: &[f64], objective: f64) {
+        self.tracker.observe(physical, objective);
+    }
+
+    fn best(&self) -> Option<(Vec<f64>, f64)> {
+        self.tracker.best()
+    }
+
+    fn evaluations(&self) -> usize {
+        self.tracker.evaluations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proposals_cover_the_space() {
+        let mut rs = RandomSearch::new(ConfigSpace::paper_default(), 1);
+        let mut saw_low_interval = false;
+        let mut saw_high_interval = false;
+        for _ in 0..200 {
+            let p = rs.propose();
+            assert!((1.0..=40.0).contains(&p[0]));
+            assert!((1.0..=20.0).contains(&p[1]));
+            if p[0] < 10.0 {
+                saw_low_interval = true;
+            }
+            if p[0] > 30.0 {
+                saw_high_interval = true;
+            }
+        }
+        assert!(saw_low_interval && saw_high_interval);
+    }
+
+    #[test]
+    fn eventually_finds_a_decent_point() {
+        let mut rs = RandomSearch::new(ConfigSpace::paper_default(), 2);
+        for _ in 0..100 {
+            let p = rs.propose();
+            let y = (p[0] - 8.0).abs() + (p[1] - 16.0).abs();
+            rs.observe(&p, y);
+        }
+        let (_, best) = rs.best().unwrap();
+        assert!(best < 6.0, "best {best}");
+        assert_eq!(rs.evaluations(), 100);
+        assert!(!rs.finished());
+    }
+}

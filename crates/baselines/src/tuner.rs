@@ -1,0 +1,87 @@
+//! The common interface every configuration-proposing method implements.
+//!
+//! NoStop itself has a richer interaction model (two measurements per
+//! iteration, pause/reset policies), but the comparison methods all follow
+//! the same propose → measure → observe loop; the experiment harness in
+//! `nostop-bench` drives them through the identical Algorithm-2-style
+//! measurement procedure so the Fig-8 comparison is apples to apples.
+
+/// A black-box configuration tuner over a physical parameter space.
+pub trait Tuner {
+    /// Method name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Propose the next configuration to evaluate, in physical units.
+    fn propose(&mut self) -> Vec<f64>;
+
+    /// Report the measured objective for a proposed configuration
+    /// (smaller is better — the Eq. 3 penalized delay).
+    fn observe(&mut self, physical: &[f64], objective: f64);
+
+    /// Best `(configuration, objective)` seen so far.
+    fn best(&self) -> Option<(Vec<f64>, f64)>;
+
+    /// Number of configurations evaluated.
+    fn evaluations(&self) -> usize;
+
+    /// True when the tuner has exhausted its own search plan (e.g. a grid);
+    /// budget-bounded methods return `false` and rely on the driver.
+    fn finished(&self) -> bool {
+        false
+    }
+}
+
+/// Shared best-tracking used by the concrete tuners.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BestTracker {
+    best: Option<(Vec<f64>, f64)>,
+    evaluations: usize,
+}
+
+impl BestTracker {
+    pub(crate) fn observe(&mut self, physical: &[f64], objective: f64) {
+        self.evaluations += 1;
+        if objective.is_finite()
+            && self
+                .best
+                .as_ref()
+                .map(|(_, b)| objective < *b)
+                .unwrap_or(true)
+        {
+            self.best = Some((physical.to_vec(), objective));
+        }
+    }
+
+    pub(crate) fn best(&self) -> Option<(Vec<f64>, f64)> {
+        self.best.clone()
+    }
+
+    pub(crate) fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_keeps_minimum() {
+        let mut t = BestTracker::default();
+        t.observe(&[1.0], 10.0);
+        t.observe(&[2.0], 5.0);
+        t.observe(&[3.0], 7.0);
+        let (cfg, obj) = t.best().unwrap();
+        assert_eq!(cfg, vec![2.0]);
+        assert_eq!(obj, 5.0);
+        assert_eq!(t.evaluations(), 3);
+    }
+
+    #[test]
+    fn tracker_ignores_non_finite() {
+        let mut t = BestTracker::default();
+        t.observe(&[1.0], f64::NAN);
+        assert!(t.best().is_none());
+        assert_eq!(t.evaluations(), 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! The "negligible overhead" claim (§4.2.1, contribution 2).
+//!
+//! NoStop's per-iteration *compute* must be cheap enough to run inline
+//! with a production streaming system. This bench measures the controller
+//! math in isolation — SPSA propose+update, the policies, the objective,
+//! and the configuration-space scaling — by driving a zero-cost in-memory
+//! system. The numbers come out in nanoseconds–microseconds per round,
+//! versus batch intervals of seconds: overhead ratios around 1e-8.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nostop_core::controller::{NoStop, NoStopConfig};
+use nostop_core::sa::{Spsa, SpsaParams};
+use nostop_core::space::ConfigSpace;
+use nostop_core::system::{BatchObservation, StreamingSystem};
+use nostop_simcore::SimRng;
+use std::hint::black_box;
+
+/// A free (no simulation) system: constant metrics, instant batches.
+struct NullSystem {
+    t: f64,
+    interval: f64,
+}
+
+impl StreamingSystem for NullSystem {
+    fn apply_config(&mut self, physical: &[f64]) {
+        self.interval = physical[0];
+    }
+    fn next_batch(&mut self) -> BatchObservation {
+        self.t += self.interval;
+        BatchObservation {
+            completed_at_s: self.t,
+            interval_s: self.interval,
+            processing_s: self.interval * 0.8,
+            scheduling_delay_s: 0.0,
+            records: 10_000,
+            input_rate: 10_000.0,
+            num_executors: 10,
+            queued_batches: 0,
+        }
+    }
+    fn now_s(&self) -> f64 {
+        self.t
+    }
+}
+
+fn bench_spsa_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spsa");
+    for dim in [2usize, 5, 20] {
+        group.bench_function(format!("propose+update_dim{dim}"), |b| {
+            let mut spsa = Spsa::new(
+                SpsaParams::paper_default(dim),
+                vec![10.0; dim],
+                SimRng::seed_from_u64(1),
+            );
+            b.iter(|| {
+                let p = spsa.propose();
+                let info = spsa.update(&p, black_box(12.0), black_box(11.0));
+                black_box(info.theta[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_controller_round(c: &mut Criterion) {
+    c.bench_function("controller/full_round_null_system", |b| {
+        b.iter_batched(
+            || {
+                (
+                    NoStop::new(NoStopConfig::paper_default(), 7),
+                    NullSystem {
+                        t: 0.0,
+                        interval: 10.0,
+                    },
+                )
+            },
+            |(mut ns, mut sys)| {
+                // One optimization round: all controller math + policy
+                // bookkeeping, with free measurements.
+                black_box(ns.run_round(&mut sys));
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_scaling_and_objective(c: &mut Criterion) {
+    let space = ConfigSpace::paper_default();
+    c.bench_function("space/to_physical+to_scaled", |b| {
+        b.iter(|| {
+            let phys = space.to_physical(black_box(&[12.3, 8.7]));
+            black_box(space.to_scaled(&phys))
+        });
+    });
+    let penalty = nostop_core::objective::PenaltySchedule::paper_default();
+    c.bench_function("objective/eq3", |b| {
+        b.iter(|| black_box(penalty.objective(black_box(10.0), black_box(11.5))));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_spsa_iteration,
+    bench_controller_round,
+    bench_scaling_and_objective
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Simulator performance: how fast virtual streaming time advances.
+//!
+//! The entire reproduction rests on replaying hours of cluster time in
+//! milliseconds; this bench tracks the engine's simulated-batches-per-
+//! second across workloads and configurations so regressions in the DES
+//! hot path (task list-scheduling, broker accounting, noise sampling) are
+//! caught.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use nostop_datagen::rate::ConstantRate;
+use nostop_simcore::SimDuration;
+use nostop_workloads::WorkloadKind;
+use spark_sim::{EngineParams, StreamConfig, StreamingEngine};
+use std::hint::black_box;
+
+const BATCHES: u64 = 50;
+
+fn engine_for(kind: WorkloadKind, rate: f64, interval_s: f64, executors: u32) -> StreamingEngine {
+    StreamingEngine::new(
+        EngineParams::paper(kind, 42),
+        StreamConfig::new(SimDuration::from_secs_f64(interval_s), executors),
+        Box::new(ConstantRate::new(rate)),
+    )
+}
+
+fn bench_batches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_batches");
+    group.throughput(Throughput::Elements(BATCHES));
+    for kind in WorkloadKind::ALL {
+        let (lo, hi) = kind.paper_rate_range();
+        let rate = (lo + hi) / 2.0;
+        group.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || engine_for(kind, rate, 10.0, 16),
+                |mut engine| {
+                    engine.run_batches(BATCHES);
+                    black_box(engine.listener().completed())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_task_scale(c: &mut Criterion) {
+    // Large intervals mean many tasks per stage — the list scheduler's
+    // heap is the hot structure.
+    let mut group = c.benchmark_group("engine_task_scale");
+    for interval_s in [2.0, 10.0, 40.0] {
+        group.bench_function(format!("interval_{interval_s}s"), |b| {
+            b.iter_batched(
+                || engine_for(WorkloadKind::WordCount, 150_000.0, interval_s, 20),
+                |mut engine| {
+                    engine.run_batches(20);
+                    black_box(engine.now().as_micros())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_reconfiguration(c: &mut Criterion) {
+    // Runtime reconfiguration (executor launch/retire + divider re-arm)
+    // must not be a hot spot either.
+    c.bench_function("engine/reconfigure_every_batch", |b| {
+        b.iter_batched(
+            || engine_for(WorkloadKind::LogisticRegression, 10_000.0, 10.0, 10),
+            |mut engine| {
+                for i in 0..20u64 {
+                    let execs = 4 + (i % 16) as u32;
+                    engine.apply_config(StreamConfig::new(
+                        SimDuration::from_secs_f64(5.0 + (i % 30) as f64),
+                        execs,
+                    ));
+                    engine.run_batches(1);
+                }
+                black_box(engine.listener().completed())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_batches,
+    bench_task_scale,
+    bench_reconfiguration
+);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Per-figure micro versions under criterion.
+//!
+//! Each figure binary's core experiment, shrunk to a few seconds of
+//! simulated time, benchmarked so the cost of regenerating every figure is
+//! tracked over the library's life. (The binaries in `src/bin/` produce
+//! the full-size numbers; these confirm they stay cheap to run.)
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nostop_bench::driver::{make_system, measure_config, nostop_config, paper_rate};
+use nostop_core::controller::NoStop;
+use nostop_core::system::StreamingSystem;
+use nostop_datagen::rate::ConstantRate;
+use nostop_simcore::SimDuration;
+use nostop_workloads::WorkloadKind;
+use spark_sim::{EngineParams, SimSystem, StreamConfig, StreamingEngine};
+use std::hint::black_box;
+
+fn testbed_point(interval_s: f64, executors: u32) -> f64 {
+    let engine = StreamingEngine::new(
+        EngineParams::testbed(WorkloadKind::LogisticRegression, 42),
+        StreamConfig::new(SimDuration::from_secs_f64(interval_s), executors),
+        Box::new(ConstantRate::new(10_000.0)),
+    );
+    let mut sys = SimSystem::new(engine);
+    let mut total = 0.0;
+    for _ in 0..4 {
+        total += sys.next_batch().processing_s;
+    }
+    total / 4.0
+}
+
+fn bench_fig2_point(c: &mut Criterion) {
+    c.bench_function("fig2/one_interval_point", |b| {
+        b.iter(|| black_box(testbed_point(black_box(10.0), 10)));
+    });
+}
+
+fn bench_fig3_point(c: &mut Criterion) {
+    c.bench_function("fig3/one_executor_point", |b| {
+        b.iter(|| black_box(testbed_point(10.0, black_box(18))));
+    });
+}
+
+fn bench_fig5_trace(c: &mut Criterion) {
+    c.bench_function("fig5/one_workload_trace", |b| {
+        b.iter(|| {
+            let mut rate = paper_rate(WorkloadKind::WordCount, 42);
+            let mut acc = 0.0;
+            for t in 0..600u64 {
+                acc += rate.rate_at(nostop_simcore::SimTime::from_micros(t * 1_000_000));
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_fig6_rounds(c: &mut Criterion) {
+    c.bench_function("fig6/ten_nostop_rounds", |b| {
+        b.iter_batched(
+            || {
+                let sys = make_system(
+                    WorkloadKind::WordCount,
+                    42,
+                    paper_rate(WorkloadKind::WordCount, 43),
+                );
+                let ns = NoStop::new(nostop_config(WorkloadKind::WordCount), 42);
+                (sys, ns)
+            },
+            |(mut sys, mut ns)| {
+                ns.run(&mut sys, 10);
+                black_box(ns.rounds())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_fig7_arm(c: &mut Criterion) {
+    c.bench_function("fig7/default_arm_measurement", |b| {
+        b.iter_batched(
+            || {
+                make_system(
+                    WorkloadKind::PageAnalyze,
+                    42,
+                    paper_rate(WorkloadKind::PageAnalyze, 44),
+                )
+            },
+            |mut sys| {
+                black_box(
+                    measure_config(&mut sys, &[20.5, 10.0], 6, 15)
+                        .end_to_end
+                        .mean,
+                )
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig2_point,
+    bench_fig3_point,
+    bench_fig5_trace,
+    bench_fig6_rounds,
+    bench_fig7_arm
+);
+criterion_main!(benches);

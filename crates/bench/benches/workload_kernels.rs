@@ -1,0 +1,81 @@
+//! Real workload kernel throughput.
+//!
+//! The four executable kernels (SGD logistic/linear regression, wordcount,
+//! nginx log analysis) back the examples and calibrate the cost models;
+//! this bench records their per-record cost so the DESIGN.md substitution
+//! table can cite measured numbers.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use nostop_datagen::{RecordGenerator, RecordKind};
+use nostop_simcore::SimRng;
+use nostop_workloads::{
+    LogAnalyzer, StreamingJob, StreamingLinearRegression, StreamingLogisticRegression, WordCount,
+};
+use std::hint::black_box;
+
+const BATCH: usize = 2_000;
+
+fn records(kind: RecordKind) -> Vec<nostop_datagen::Record> {
+    RecordGenerator::new(kind, 8, SimRng::seed_from_u64(7)).take(BATCH)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    let lr_data = records(RecordKind::LabelledPoint);
+    group.bench_function("logistic_regression_batch", |b| {
+        b.iter_batched(
+            || StreamingLogisticRegression::new(8),
+            |mut job| black_box(job.process_batch(&lr_data)),
+            BatchSize::SmallInput,
+        );
+    });
+
+    let lin_data = records(RecordKind::RegressionPoint);
+    group.bench_function("linear_regression_batch", |b| {
+        b.iter_batched(
+            || StreamingLinearRegression::new(8),
+            |mut job| black_box(job.process_batch(&lin_data)),
+            BatchSize::SmallInput,
+        );
+    });
+
+    let wc_data = records(RecordKind::TextLine);
+    group.bench_function("wordcount_batch", |b| {
+        b.iter_batched(
+            WordCount::new,
+            |mut job| black_box(job.process_batch(&wc_data)),
+            BatchSize::SmallInput,
+        );
+    });
+
+    let log_data = records(RecordKind::NginxLog);
+    group.bench_function("log_analyze_batch", |b| {
+        b.iter_batched(
+            LogAnalyzer::new,
+            |mut job| black_box(job.process_batch(&log_data)),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_record_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for kind in [
+        RecordKind::LabelledPoint,
+        RecordKind::TextLine,
+        RecordKind::NginxLog,
+    ] {
+        group.bench_function(format!("{kind:?}"), |b| {
+            let mut gen = RecordGenerator::new(kind, 8, SimRng::seed_from_u64(3));
+            b.iter(|| black_box(gen.take(BATCH).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_record_generation);
+criterion_main!(benches);

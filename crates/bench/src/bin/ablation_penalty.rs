@@ -1,0 +1,111 @@
+//! Ablation — the ρ penalty ramp and cap (§4.2.2).
+//!
+//! The paper ramps ρ from 1 to 2 by 0.1/iteration: a small early ρ keeps
+//! the first (large-gain) steps from overshooting; the later cap keeps the
+//! stability penalty from drowning the interval-minimization goal. This
+//! sweep compares: no penalty at all (constraint ignored), fixed large ρ
+//! from the start, the paper's ramp, and an enormous cap.
+
+use nostop_bench::driver::{make_system, nostop_config, paper_rate};
+use nostop_bench::report::{f, print_section, Table};
+use nostop_core::controller::NoStop;
+use nostop_core::objective::PenaltySchedule;
+use nostop_core::trace::RoundKind;
+use nostop_workloads::WorkloadKind;
+
+const KIND: WorkloadKind = WorkloadKind::LogisticRegression;
+const SEEDS: [u64; 3] = [9, 19, 29];
+const ROUNDS: u64 = 40;
+
+struct Outcome {
+    stable_frac: f64,
+    mean_interval: f64,
+    converged: usize,
+}
+
+fn run_with(penalty: PenaltySchedule) -> Outcome {
+    let mut stable = 0usize;
+    let mut total = 0usize;
+    let mut intervals = Vec::new();
+    let mut converged = 0;
+    for &seed in &SEEDS {
+        let mut cfg = nostop_config(KIND);
+        cfg.penalty = penalty;
+        let mut sys = make_system(KIND, seed, paper_rate(KIND, seed ^ 0xABA));
+        let mut ns = NoStop::new(cfg, seed);
+        ns.run(&mut sys, ROUNDS);
+        if ns.trace().rounds.iter().any(|r| r.paused_after) {
+            converged += 1;
+        }
+        // Judge the tail iterates: were the measured configs stable, and
+        // how small an interval was achieved?
+        for r in ns.trace().rounds.iter().rev().take(10) {
+            if let RoundKind::Optimized { plus, minus, .. } = &r.kind {
+                for m in [plus, minus] {
+                    total += 1;
+                    if m.processing_s <= m.interval_s {
+                        stable += 1;
+                    }
+                }
+                intervals.push(r.theta_physical[0]);
+            } else if let RoundKind::Paused { observed } = &r.kind {
+                total += 1;
+                if observed.processing_s <= observed.interval_s {
+                    stable += 1;
+                }
+                intervals.push(r.theta_physical[0]);
+            }
+        }
+    }
+    Outcome {
+        stable_frac: if total == 0 {
+            0.0
+        } else {
+            stable as f64 / total as f64
+        },
+        mean_interval: if intervals.is_empty() {
+            f64::NAN
+        } else {
+            intervals.iter().sum::<f64>() / intervals.len() as f64
+        },
+        converged,
+    }
+}
+
+fn main() {
+    let mut table = Table::new(&[
+        "penalty",
+        "tail stable frac",
+        "tail mean interval_s",
+        "converged runs",
+    ]);
+    for (name, p) in [
+        (
+            "none (rho=0.01 fixed)",
+            PenaltySchedule::new(0.01, 0.0, 0.01),
+        ),
+        ("paper ramp 1->2 by 0.1", PenaltySchedule::paper_default()),
+        (
+            "fixed rho=2 from start",
+            PenaltySchedule::new(2.0, 0.0, 2.0),
+        ),
+        ("huge cap 1->10", PenaltySchedule::new(1.0, 0.5, 10.0)),
+    ] {
+        let o = run_with(p);
+        table.row(&[
+            name.to_string(),
+            f(o.stable_frac, 2),
+            f(o.mean_interval, 1),
+            format!("{}/{}", o.converged, SEEDS.len()),
+        ]);
+    }
+    print_section(
+        "Ablation §4.2.2: penalty schedule (logistic regression, 40 rounds, 3 seeds)",
+        &table,
+    );
+    println!(
+        "no penalty drives the interval down through the stability \
+         constraint; the paper's capped ramp balances stability against \
+         interval minimization"
+    );
+}

@@ -1,0 +1,66 @@
+//! Ablation — speculative execution on the heterogeneous cluster.
+//!
+//! The paper claims NoStop "tackles hardware heterogeneity in a
+//! transparent manner" (§1): the controller never sees node speeds, it
+//! just measures batch times. This ablation shows how the *substrate*
+//! handles heterogeneity underneath: with Spark's speculative execution
+//! on, straggler tasks on the slow Xeon node are re-run on faster idle
+//! executors, shortening single-wave stages — and the configuration
+//! NoStop converges to can afford a smaller interval.
+
+use nostop_bench::report::{f, print_section, Table};
+use nostop_core::system::StreamingSystem;
+use nostop_datagen::rate::ConstantRate;
+use nostop_simcore::SimDuration;
+use nostop_workloads::WorkloadKind;
+use spark_sim::scheduler::Speculation;
+use spark_sim::{EngineParams, SimSystem, StreamConfig, StreamingEngine};
+
+fn mean_proc(speculation: Option<Speculation>, interval_s: f64, executors: u32) -> f64 {
+    let mut params = EngineParams::paper(WorkloadKind::WordCount, 7);
+    params.speculation = speculation;
+    let engine = StreamingEngine::new(
+        params,
+        StreamConfig::new(SimDuration::from_secs_f64(interval_s), executors),
+        Box::new(ConstantRate::new(150_000.0)),
+    );
+    let mut sys = SimSystem::new(engine);
+    for _ in 0..2 {
+        sys.next_batch();
+    }
+    (0..10).map(|_| sys.next_batch().processing_s).sum::<f64>() / 10.0
+}
+
+fn main() {
+    let mut table = Table::new(&[
+        "interval_s (tasks)",
+        "executors",
+        "proc_s no speculation",
+        "proc_s with speculation",
+        "saved %",
+    ]);
+    // Short intervals = few tasks = single waves where the slow Xeon's
+    // stragglers sit on the critical path; long intervals = many waves
+    // where fast executors absorb the imbalance anyway.
+    for (interval, executors) in [(3.0, 15u32), (4.0, 20), (10.0, 20), (20.0, 20)] {
+        let without = mean_proc(None, interval, executors);
+        let with = mean_proc(Some(Speculation::default()), interval, executors);
+        table.row(&[
+            format!("{interval} ({})", (interval / 0.2) as u32),
+            executors.to_string(),
+            f(without, 2),
+            f(with, 2),
+            f((without - with) / without * 100.0, 1),
+        ]);
+    }
+    print_section(
+        "Ablation: speculative execution on the Table-2 heterogeneous cluster \
+         (WordCount, 150k rec/s)",
+        &table,
+    );
+    println!(
+        "speculation pays when tasks ≈ executors (single-wave stages, \
+         stragglers on the critical path) and fades once multiple waves \
+         let fast executors absorb the imbalance"
+    );
+}

@@ -1,0 +1,47 @@
+//! Fig. 5 — the varying input-rate traces driving each workload.
+//!
+//! The generator draws a rate uniformly from the workload's range and
+//! holds it for 30 s before redrawing (§6.2.2). This binary prints each
+//! workload's trace over ten minutes plus its summary — the reproduction
+//! of the four panels of Fig. 5.
+
+use nostop_bench::driver::paper_rate;
+use nostop_bench::report::{f, print_section, Table};
+use nostop_simcore::{SimTime, TimeSeries};
+use nostop_workloads::WorkloadKind;
+
+const DURATION_S: u64 = 600;
+const SAMPLE_EVERY_S: u64 = 10;
+
+fn main() {
+    let mut summary = Table::new(&[
+        "workload",
+        "range (rec/s)",
+        "observed min",
+        "observed max",
+        "observed mean",
+    ]);
+    for kind in WorkloadKind::ALL {
+        let mut rate = paper_rate(kind, 42);
+        let mut series = TimeSeries::new(kind.name());
+        for t in (0..=DURATION_S).step_by(SAMPLE_EVERY_S as usize) {
+            series.push_at(
+                SimTime::from_micros(t * 1_000_000),
+                rate.rate_at(SimTime::from_micros(t * 1_000_000)),
+            );
+        }
+        let s = series.summary();
+        let (lo, hi) = kind.paper_rate_range();
+        summary.row(&[
+            kind.name().to_string(),
+            format!("[{lo}, {hi}]"),
+            f(s.min, 0),
+            f(s.max, 0),
+            f(s.mean, 0),
+        ]);
+        println!("--- {} trace (t_s, rate) ---", kind.name());
+        print!("{}", series.to_csv());
+        println!();
+    }
+    print_section("Fig 5: input-rate variation per workload (600 s)", &summary);
+}

@@ -1,0 +1,71 @@
+//! Fig. 6 — the optimization evolution for the four workloads.
+//!
+//! One NoStop run per workload under the paper's varying input rate;
+//! prints the per-round end-to-end delay and batch-interval series (the
+//! two curves of each Fig. 6 panel). Expected shapes: the batch interval
+//! descends from the 20.5 s default toward the stability frontier and
+//! flattens once the pause rule fires; the ML workloads' traces are the
+//! most dynamic (their per-batch iteration counts vary), WordCount's the
+//! most stable.
+
+use nostop_bench::driver::run_nostop;
+use nostop_bench::report::{f, print_section, Table};
+use nostop_workloads::WorkloadKind;
+
+const ROUNDS: u64 = 40;
+
+fn main() {
+    let mut summary = Table::new(&[
+        "workload",
+        "rounds",
+        "resets",
+        "final interval_s",
+        "final executors",
+        "best intrinsic delay_s",
+        "converged@round",
+    ]);
+    for kind in WorkloadKind::ALL {
+        let (run, _) = run_nostop(kind, 42, ROUNDS);
+        let trace = run.controller.trace();
+
+        println!(
+            "--- {} evolution (round, delay_s, interval_s) ---",
+            kind.name()
+        );
+        let delays = trace.delay_series();
+        let intervals = trace.interval_series();
+        println!("round,delay_s,interval_s");
+        for (round, interval) in &intervals {
+            let delay = delays
+                .iter()
+                .find(|(r, _)| r == round)
+                .map(|(_, d)| format!("{d:.2}"))
+                .unwrap_or_default();
+            println!("{round},{delay},{:.1}", interval);
+        }
+        println!();
+
+        let phys = run.controller.current_physical();
+        let best = run
+            .controller
+            .best_config()
+            .map(|(_, d)| f(d, 2))
+            .unwrap_or_else(|| "-".into());
+        let converged = trace
+            .rounds
+            .iter()
+            .find(|r| r.paused_after)
+            .map(|r| r.round.to_string())
+            .unwrap_or_else(|| "-".into());
+        summary.row(&[
+            kind.name().to_string(),
+            run.rounds.to_string(),
+            trace.resets().to_string(),
+            f(phys[0], 1),
+            f(phys[1], 0),
+            best,
+            converged,
+        ]);
+    }
+    print_section("Fig 6: optimization evolution summary (seed 42)", &summary);
+}

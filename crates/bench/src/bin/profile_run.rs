@@ -1,0 +1,29 @@
+use nostop_bench::driver::*;
+use nostop_core::controller::{NoStop, RoundOutcome};
+use nostop_core::system::StreamingSystem;
+use nostop_workloads::WorkloadKind;
+
+fn main() {
+    let kind = WorkloadKind::LogisticRegression;
+    let seed = 3u64;
+    let rate = surge_rate(kind, seed ^ 0x5E7, 2.5, 4_000.0, 100_000.0);
+    let mut sys = make_system(kind, seed, rate);
+    let mut ns = NoStop::new(nostop_config(kind), seed);
+    for r in 0..90 {
+        let out = ns.run_round(&mut sys);
+        let tag = match out {
+            RoundOutcome::Optimized { .. } => "opt",
+            RoundOutcome::Paused { .. } => "paused",
+            RoundOutcome::Reset => "RESET",
+            RoundOutcome::Woke => "woke",
+        };
+        if sys.now_s() > 3500.0 {
+            eprintln!(
+                "r{r} t={:.0} k={} phys={:?} {tag}",
+                sys.now_s(),
+                ns.k(),
+                ns.current_physical()
+            );
+        }
+    }
+}

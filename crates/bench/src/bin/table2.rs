@@ -1,0 +1,27 @@
+//! Table 2 — the evaluation cluster inventory, as encoded in the simulator.
+
+use nostop_bench::report::{print_section, Table};
+use spark_sim::Cluster;
+
+fn main() {
+    let cluster = Cluster::paper_heterogeneous();
+    let mut table = Table::new(&["Node ID", "CPU", "Cores", "Speed", "Disk", "Type"]);
+    for n in &cluster.nodes {
+        table.row(&[
+            (n.id + 1).to_string(),
+            n.cpu.clone(),
+            n.cores.to_string(),
+            format!("{:.2}", n.speed),
+            format!("{:?}", n.disk),
+            if n.is_master { "Master" } else { "Worker" }.to_string(),
+        ]);
+    }
+    print_section(
+        "Table 2: cluster nodes (paper heterogeneous preset)",
+        &table,
+    );
+    println!(
+        "total worker cores: {} (supports the paper's 1..=20 executor range)",
+        cluster.total_worker_cores()
+    );
+}

@@ -1,0 +1,26 @@
+//! Experiment harness for the NoStop reproduction.
+//!
+//! Every table and figure in the paper's evaluation (§6) has a regenerator
+//! binary in `src/bin/`; they all drive experiments through the shared
+//! [`driver`] so that NoStop, Bayesian optimization, back pressure, and the
+//! static default are measured by identical procedures on identical
+//! simulated clusters. [`report`] renders aligned tables and CSV blocks for
+//! EXPERIMENTS.md.
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table2` | Table 2 — cluster inventory |
+//! | `fig2` | Fig. 2 — batch interval vs processing time / schedule delay |
+//! | `fig3` | Fig. 3 — executor count vs processing time / schedule delay |
+//! | `fig5` | Fig. 5 — varying input-rate traces for the four workloads |
+//! | `fig6` | Fig. 6 — optimization evolution per workload |
+//! | `fig7` | Fig. 7 — improvement over the default configuration |
+//! | `fig8` | Fig. 8 — SPSA vs Bayesian optimization |
+//! | `backpressure_cmp` | abstract — NoStop vs Spark Back Pressure |
+//! | `ablation_gains` | §5.6 — gain-sequence choices |
+//! | `ablation_penalty` | §4.2.2 — penalty ramp and cap |
+//! | `ablation_window` | §5.4 — metric-collection rules |
+//! | `ablation_reset` | §5.5 — input-rate reset rule |
+
+pub mod driver;
+pub mod report;

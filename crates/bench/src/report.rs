@@ -1,0 +1,134 @@
+//! Plain-text report rendering: aligned tables and CSV blocks.
+//!
+//! The figure regenerators print both a human-readable table (what you
+//! compare against the paper's plot) and a machine-readable CSV block
+//! (what you feed to a plotting tool). No plotting dependencies: the
+//! deliverable is the *numbers*.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience: append a row of display-formatted cells.
+    pub fn row_display(&mut self, cells: &[&dyn std::fmt::Display]) -> &mut Self {
+        let rendered: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&rendered)
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}", cell, width = widths[i]);
+                if i + 1 < cols {
+                    let _ = write!(out, "  ");
+                }
+            }
+            let _ = writeln!(out);
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+/// Print a titled section with a table and its CSV block.
+pub fn print_section(title: &str, table: &Table) {
+    println!("== {title} ==");
+    println!();
+    println!("{}", table.render());
+    println!("--- csv ---");
+    println!("{}", table.to_csv());
+}
+
+/// Format a float with fixed decimals.
+pub fn f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Format a `mean ± std` cell.
+pub fn pm(mean: f64, std: f64, decimals: usize) -> String {
+    format!("{mean:.decimals$} ± {std:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer-name".into(), "2.5".into()]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // All data lines have the value column starting at the same offset.
+        let off2 = lines[2].find('1').unwrap();
+        let off3 = lines[3].find("2.5").unwrap();
+        assert_eq!(off2, off3);
+    }
+
+    #[test]
+    fn csv_is_plain() {
+        let mut t = Table::new(&["x", "y"]);
+        t.row(&["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(pm(10.0, 1.5, 1), "10.0 ± 1.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+}

@@ -1,0 +1,173 @@
+//! The JSON status vector between the streaming listener and NoStop.
+//!
+//! Fig. 4: "We design Spark Streaming Listener to report real-time system
+//! status to NoStop in JSON format." [`StatusReport`] is that wire format.
+//! A REST-driven deployment posts these JSON objects; the in-process
+//! simulator produces the same struct directly. Either way,
+//! [`StatusReport::to_observation`] turns a report into the
+//! [`BatchObservation`] the controller consumes — so the controller code
+//! path is identical in both deployments.
+
+use crate::system::BatchObservation;
+use serde::{Deserialize, Serialize};
+
+/// A listener status report for one completed batch, in the JSON shape a
+/// `StreamingListener.onBatchCompleted` hook would emit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusReport {
+    /// Batch sequence number.
+    #[serde(rename = "batchId")]
+    pub batch_id: u64,
+    /// Batch submission time, epoch-relative milliseconds.
+    #[serde(rename = "submissionTimeMs")]
+    pub submission_time_ms: u64,
+    /// Processing start time, milliseconds.
+    #[serde(rename = "processingStartTimeMs")]
+    pub processing_start_time_ms: u64,
+    /// Processing end time, milliseconds.
+    #[serde(rename = "processingEndTimeMs")]
+    pub processing_end_time_ms: u64,
+    /// Records in the batch.
+    #[serde(rename = "numRecords")]
+    pub num_records: u64,
+    /// Records that *arrived* at the source during the ingest window
+    /// (differs from `numRecords` while draining a backlog). Optional on
+    /// the wire; 0 means "same as numRecords".
+    #[serde(rename = "arrivedRecords", default)]
+    pub arrived_records: u64,
+    /// The batch interval in force, milliseconds.
+    #[serde(rename = "batchIntervalMs")]
+    pub batch_interval_ms: u64,
+    /// Actual receiver ingest window for this batch, milliseconds (equals
+    /// the interval except for the first batch after an interval change).
+    /// Optional on the wire; 0 means "use the interval".
+    #[serde(rename = "ingestWindowMs", default)]
+    pub ingest_window_ms: u64,
+    /// Live executor count.
+    #[serde(rename = "numExecutors")]
+    pub num_executors: u32,
+    /// Batches waiting in the queue at completion time.
+    #[serde(rename = "queuedBatches")]
+    pub queued_batches: u32,
+}
+
+impl StatusReport {
+    /// Scheduling delay in milliseconds (start − submission).
+    pub fn scheduling_delay_ms(&self) -> u64 {
+        self.processing_start_time_ms
+            .saturating_sub(self.submission_time_ms)
+    }
+
+    /// Processing time in milliseconds (end − start).
+    pub fn processing_time_ms(&self) -> u64 {
+        self.processing_end_time_ms
+            .saturating_sub(self.processing_start_time_ms)
+    }
+
+    /// Convert to the controller's observation type.
+    pub fn to_observation(&self) -> BatchObservation {
+        let interval_s = self.batch_interval_ms as f64 / 1e3;
+        let window_s = if self.ingest_window_ms > 0 {
+            self.ingest_window_ms as f64 / 1e3
+        } else {
+            interval_s
+        };
+        let arrived = if self.arrived_records > 0 {
+            self.arrived_records
+        } else {
+            self.num_records
+        };
+        BatchObservation {
+            completed_at_s: self.processing_end_time_ms as f64 / 1e3,
+            interval_s,
+            processing_s: self.processing_time_ms() as f64 / 1e3,
+            scheduling_delay_s: self.scheduling_delay_ms() as f64 / 1e3,
+            records: self.num_records,
+            input_rate: if window_s > 0.0 {
+                arrived as f64 / window_s
+            } else {
+                0.0
+            },
+            num_executors: self.num_executors,
+            queued_batches: self.queued_batches,
+        }
+    }
+
+    /// Serialize to the JSON wire format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("status serialization cannot fail")
+    }
+
+    /// Parse from the JSON wire format.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> StatusReport {
+        StatusReport {
+            batch_id: 7,
+            submission_time_ms: 100_000,
+            processing_start_time_ms: 101_500,
+            processing_end_time_ms: 109_500,
+            num_records: 50_000,
+            arrived_records: 50_000,
+            batch_interval_ms: 10_000,
+            ingest_window_ms: 10_000,
+            num_executors: 12,
+            queued_batches: 1,
+        }
+    }
+
+    #[test]
+    fn delay_arithmetic() {
+        let r = report();
+        assert_eq!(r.scheduling_delay_ms(), 1_500);
+        assert_eq!(r.processing_time_ms(), 8_000);
+    }
+
+    #[test]
+    fn converts_to_observation() {
+        let o = report().to_observation();
+        assert_eq!(o.interval_s, 10.0);
+        assert_eq!(o.processing_s, 8.0);
+        assert_eq!(o.scheduling_delay_s, 1.5);
+        assert_eq!(o.records, 50_000);
+        assert_eq!(o.input_rate, 5_000.0);
+        assert_eq!(o.num_executors, 12);
+        assert!(o.is_stable());
+    }
+
+    #[test]
+    fn json_round_trip_uses_camel_case() {
+        let r = report();
+        let json = r.to_json();
+        assert!(json.contains("\"batchId\":7"), "{json}");
+        assert!(json.contains("\"batchIntervalMs\":10000"), "{json}");
+        let back = StatusReport::from_json(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn parses_external_json() {
+        let json = r#"{
+            "batchId": 1, "submissionTimeMs": 0, "processingStartTimeMs": 10,
+            "processingEndTimeMs": 500, "numRecords": 42,
+            "batchIntervalMs": 1000, "numExecutors": 4, "queuedBatches": 0
+        }"#;
+        let r = StatusReport::from_json(json).unwrap();
+        assert_eq!(r.num_records, 42);
+        assert_eq!(r.processing_time_ms(), 490);
+    }
+
+    #[test]
+    fn clock_skew_saturates_rather_than_underflows() {
+        let mut r = report();
+        r.processing_start_time_ms = 0; // bogus listener clock
+        assert_eq!(r.scheduling_delay_ms(), 0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Systematic gain-sequence selection — the paper's §7 future work.
+//!
+//! "It is still a challenging task for end users, who are primarily domain
+//! experts, to choose appropriate gain sequences. … It is also of our
+//! future interest to design intelligent approaches to determine gain
+//! sequences systematically based on some user-level knowledge such as
+//! cluster capacity and throughput estimate."
+//!
+//! [`GainAdvisor`] implements that: it combines Spall's selection rules
+//! with a short *pilot measurement* against the live system:
+//!
+//! * `c` ← the measured standard deviation of the objective at the
+//!   starting configuration (Spall: "set c to approximately the standard
+//!   deviation of the measurement noise"), floored so the perturbation
+//!   stays above the quantization grid;
+//! * `a` ← chosen so the expected first step is a target fraction of the
+//!   scaled range, using a pilot gradient-magnitude estimate
+//!   `|ĝ₀| ≈ σ_y / c₀` (the noise-dominated regime's lower bound);
+//! * `A` ← 10% of the iteration budget the user expects.
+
+use crate::objective::PenaltySchedule;
+use crate::sa::GainSchedule;
+use crate::space::ConfigSpace;
+use crate::system::{BatchObservation, StreamingSystem};
+
+/// Derives a [`GainSchedule`] from user-level knowledge plus a pilot run.
+#[derive(Debug, Clone)]
+pub struct GainAdvisor {
+    /// The configuration space being tuned.
+    pub space: ConfigSpace,
+    /// Iterations the user expects to afford (sets `A`).
+    pub expected_iterations: u64,
+    /// Desired magnitude of the first step, as a fraction of the scaled
+    /// range (default 0.25 — a quarter of the range, matching the
+    /// controller's step clip).
+    pub initial_step_fraction: f64,
+    /// Batches measured in the pilot (default 6).
+    pub pilot_batches: usize,
+}
+
+/// What the advisor measured and decided.
+#[derive(Debug, Clone)]
+pub struct GainAdvice {
+    /// The recommended schedule.
+    pub gains: GainSchedule,
+    /// Pilot: mean objective at the starting configuration.
+    pub pilot_mean: f64,
+    /// Pilot: objective standard deviation (becomes `c`).
+    pub pilot_std: f64,
+}
+
+impl GainAdvisor {
+    /// An advisor with the defaults discussed in the module docs.
+    pub fn new(space: ConfigSpace, expected_iterations: u64) -> Self {
+        assert!(expected_iterations >= 1, "need an iteration budget");
+        GainAdvisor {
+            space,
+            expected_iterations,
+            initial_step_fraction: 0.25,
+            pilot_batches: 6,
+        }
+    }
+
+    /// Run the pilot against `sys` at the configuration `theta_scaled`
+    /// and derive the schedule. The system is left running at that
+    /// configuration.
+    pub fn advise<S: StreamingSystem>(&self, sys: &mut S, theta_scaled: &[f64]) -> GainAdvice {
+        assert_eq!(theta_scaled.len(), self.space.dim(), "dimension mismatch");
+        let physical = self.space.to_physical(theta_scaled);
+        sys.apply_config(&physical);
+        // Skip one settling batch, then sample the objective per batch.
+        let _ = sys.next_batch();
+        let penalty = PenaltySchedule::paper_default();
+        let samples: Vec<f64> = (0..self.pilot_batches.max(2))
+            .map(|_| {
+                let b: BatchObservation = sys.next_batch();
+                penalty.objective(physical[0], b.processing_s)
+            })
+            .collect();
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|y| (y - mean).powi(2)).sum::<f64>() / n;
+        let std = var.sqrt();
+
+        let range = self.space.scaled_hi - self.space.scaled_lo;
+        // c: the measurement noise std, floored at 2% of the range so the
+        // perturbation clears quantization, capped at a quarter range.
+        let c = std.clamp(range * 0.02, range * 0.25);
+        // A: 10% of the expected iterations (Spall / paper §5.6).
+        let big_a = (self.expected_iterations as f64 * 0.1).max(1.0);
+        // a: target initial step = fraction × range. In the noise-
+        // dominated regime |ĝ₀| ≳ σ_y / (2 c₀); use that as the gradient
+        // scale so the first steps neither crawl nor slam the walls.
+        let alpha = 0.602;
+        let grad_scale = (std / (2.0 * c)).max(0.25);
+        let a = self.initial_step_fraction * range * (big_a + 1.0).powf(alpha) / grad_scale;
+
+        let gains = GainSchedule {
+            a,
+            big_a,
+            c,
+            alpha,
+            gamma: 0.101,
+        };
+        debug_assert!(gains.satisfies_convergence());
+        GainAdvice {
+            gains,
+            pilot_mean: mean,
+            pilot_std: std,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nostop_simcore::SimRng;
+
+    /// A system with controllable measurement noise.
+    struct NoisySystem {
+        interval: f64,
+        noise: f64,
+        rng: SimRng,
+        t: f64,
+    }
+
+    impl StreamingSystem for NoisySystem {
+        fn apply_config(&mut self, physical: &[f64]) {
+            self.interval = physical[0];
+        }
+        fn next_batch(&mut self) -> BatchObservation {
+            self.t += self.interval;
+            let proc = (self.interval * 1.2 + self.rng.normal(0.0, self.noise)).max(0.01);
+            BatchObservation {
+                completed_at_s: self.t,
+                interval_s: self.interval,
+                processing_s: proc,
+                scheduling_delay_s: 0.0,
+                records: 1000,
+                input_rate: 1000.0,
+                num_executors: 8,
+                queued_batches: 0,
+            }
+        }
+        fn now_s(&self) -> f64 {
+            self.t
+        }
+    }
+
+    fn noisy(noise: f64, seed: u64) -> NoisySystem {
+        NoisySystem {
+            interval: 10.0,
+            noise,
+            rng: SimRng::seed_from_u64(seed),
+            t: 0.0,
+        }
+    }
+
+    #[test]
+    fn advice_always_satisfies_convergence_conditions() {
+        for noise in [0.0, 0.5, 2.0, 20.0] {
+            let advisor = GainAdvisor::new(ConfigSpace::paper_default(), 50);
+            let advice = advisor.advise(&mut noisy(noise, 1), &[10.0, 10.0]);
+            assert!(
+                advice.gains.satisfies_convergence(),
+                "noise {noise}: {:?}",
+                advice.gains
+            );
+        }
+    }
+
+    #[test]
+    fn c_tracks_measurement_noise() {
+        let advisor = GainAdvisor::new(ConfigSpace::paper_default(), 50);
+        let quiet = advisor.advise(&mut noisy(0.2, 2), &[10.0, 10.0]);
+        let loud = advisor.advise(&mut noisy(3.0, 2), &[10.0, 10.0]);
+        assert!(
+            loud.gains.c > quiet.gains.c,
+            "noisier system, bigger c: {} vs {}",
+            loud.gains.c,
+            quiet.gains.c
+        );
+        assert!(loud.pilot_std > quiet.pilot_std);
+    }
+
+    #[test]
+    fn c_is_floored_above_quantization_for_noiseless_systems() {
+        let advisor = GainAdvisor::new(ConfigSpace::paper_default(), 50);
+        let advice = advisor.advise(&mut noisy(0.0, 3), &[10.0, 10.0]);
+        // 2% of the 19-unit range.
+        assert!(advice.gains.c >= 0.38 - 1e-12, "c {}", advice.gains.c);
+    }
+
+    #[test]
+    fn big_a_is_ten_percent_of_budget() {
+        let advisor = GainAdvisor::new(ConfigSpace::paper_default(), 200);
+        let advice = advisor.advise(&mut noisy(1.0, 4), &[10.0, 10.0]);
+        assert!((advice.gains.big_a - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_step_lands_near_the_target_fraction() {
+        // With gains from the advisor, the very first SPSA step under the
+        // pilot-estimated gradient magnitude should move ≈ a quarter of
+        // the range.
+        let advisor = GainAdvisor::new(ConfigSpace::paper_default(), 50);
+        let mut sys = noisy(1.5, 5);
+        let advice = advisor.advise(&mut sys, &[10.0, 10.0]);
+        let g0 = advice.gains.a_k(0);
+        let grad_scale = (advice.pilot_std / (2.0 * advice.gains.c)).max(0.25);
+        let step = g0 * grad_scale;
+        let range = 19.0;
+        assert!(
+            step > 0.1 * range && step < 0.5 * range,
+            "first step {step} vs range {range}"
+        );
+    }
+
+    #[test]
+    fn advised_gains_actually_converge_on_the_system() {
+        use crate::sa::{Spsa, SpsaParams};
+        let advisor = GainAdvisor::new(ConfigSpace::paper_default(), 60);
+        let mut sys = noisy(0.5, 6);
+        let advice = advisor.advise(&mut sys, &[10.0, 10.0]);
+        // Optimize a synthetic quadratic in scaled space with the advised
+        // gains.
+        let mut noise_rng = SimRng::seed_from_u64(9);
+        let mut spsa = Spsa::new(
+            SpsaParams {
+                gains: advice.gains,
+                lower: vec![1.0, 1.0],
+                upper: vec![20.0, 20.0],
+                max_step: Some(19.0 / 4.0),
+            },
+            vec![10.0, 10.0],
+            SimRng::seed_from_u64(7),
+        );
+        // Curvature matched to the streaming objective the advisor
+        // calibrates for: gradients of order 1 (seconds per scaled unit).
+        let theta = spsa.run(80, |t| {
+            ((t[0] - 6.0).powi(2) + (t[1] - 14.0).powi(2)) / 10.0 + noise_rng.normal(0.0, 0.5)
+        });
+        assert!((theta[0] - 6.0).abs() < 3.5, "{theta:?}");
+        assert!((theta[1] - 14.0).abs() < 3.5, "{theta:?}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Kiefer–Wolfowitz finite-difference stochastic approximation (FDSA).
+//!
+//! The classical alternative the paper contrasts SPSA against (§4.2.3):
+//! the gradient is estimated one coordinate at a time,
+//!
+//! ```text
+//! ĝ_k,i = (y(θ_k + c_k e_i) − y(θ_k − c_k e_i)) / (2 c_k)
+//! ```
+//!
+//! which costs `2p` measurements per iteration for `p` parameters — versus
+//! SPSA's 2. For online tuning every measurement means running the real
+//! system under a perturbed configuration for a full observation window, so
+//! this factor is exactly the "negligible overhead" argument of §4.2.1; the
+//! ablation bench quantifies it.
+
+use super::gains::GainSchedule;
+use super::spsa::clamp;
+use serde::{Deserialize, Serialize};
+
+/// FDSA construction parameters (same shape as SPSA's).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FdsaParams {
+    /// Gain sequences; the same convergence conditions apply.
+    pub gains: GainSchedule,
+    /// Per-dimension lower bounds.
+    pub lower: Vec<f64>,
+    /// Per-dimension upper bounds.
+    pub upper: Vec<f64>,
+}
+
+/// The FDSA optimizer state.
+#[derive(Debug, Clone)]
+pub struct Fdsa {
+    params: FdsaParams,
+    theta: Vec<f64>,
+    k: u64,
+    /// Objective evaluations consumed so far (for overhead comparisons).
+    evaluations: u64,
+}
+
+impl Fdsa {
+    /// Start at `theta_initial` (clamped into bounds).
+    pub fn new(params: FdsaParams, theta_initial: Vec<f64>) -> Self {
+        assert_eq!(params.lower.len(), params.upper.len(), "bound mismatch");
+        assert_eq!(theta_initial.len(), params.lower.len(), "dim mismatch");
+        assert!(
+            params.gains.satisfies_convergence(),
+            "gain schedule violates convergence conditions"
+        );
+        let theta = clamp(&theta_initial, &params.lower, &params.upper);
+        Fdsa {
+            params,
+            theta,
+            k: 0,
+            evaluations: 0,
+        }
+    }
+
+    /// Current iterate.
+    pub fn theta(&self) -> &[f64] {
+        &self.theta
+    }
+
+    /// Completed iterations.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// Objective evaluations consumed (2·dim per iteration).
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Run one iteration: `2p` coordinate-wise measurements, then a step.
+    pub fn step<F: FnMut(&[f64]) -> f64>(&mut self, mut objective: F) -> Vec<f64> {
+        let a_k = self.params.gains.a_k(self.k);
+        let c_k = self.params.gains.c_k(self.k);
+        let dim = self.theta.len();
+        let mut gradient = vec![0.0; dim];
+        for i in 0..dim {
+            let mut plus = self.theta.clone();
+            plus[i] += c_k;
+            let mut minus = self.theta.clone();
+            minus[i] -= c_k;
+            let plus = clamp(&plus, &self.params.lower, &self.params.upper);
+            let minus = clamp(&minus, &self.params.lower, &self.params.upper);
+            let y_plus = objective(&plus);
+            let y_minus = objective(&minus);
+            self.evaluations += 2;
+            gradient[i] = (y_plus - y_minus) / (2.0 * c_k);
+        }
+        let stepped: Vec<f64> = self
+            .theta
+            .iter()
+            .zip(&gradient)
+            .map(|(t, g)| t - a_k * g)
+            .collect();
+        self.theta = clamp(&stepped, &self.params.lower, &self.params.upper);
+        self.k += 1;
+        self.theta.clone()
+    }
+
+    /// Run `n` iterations; returns the final iterate.
+    pub fn run<F: FnMut(&[f64]) -> f64>(&mut self, n: u64, mut objective: F) -> Vec<f64> {
+        for _ in 0..n {
+            self.step(&mut objective);
+        }
+        self.theta.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(dim: usize) -> FdsaParams {
+        FdsaParams {
+            gains: GainSchedule {
+                a: 2.0,
+                big_a: 5.0,
+                c: 0.5,
+                alpha: 0.602,
+                gamma: 0.101,
+            },
+            lower: vec![0.0; dim],
+            upper: vec![20.0; dim],
+        }
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        let mut fdsa = Fdsa::new(params(2), vec![15.0, 3.0]);
+        let theta = fdsa.run(200, |t| (t[0] - 7.0).powi(2) + (t[1] - 12.0).powi(2));
+        assert!((theta[0] - 7.0).abs() < 0.5, "{theta:?}");
+        assert!((theta[1] - 12.0).abs() < 0.5, "{theta:?}");
+    }
+
+    #[test]
+    fn costs_two_p_measurements_per_iteration() {
+        for dim in [1usize, 2, 5] {
+            let mut fdsa = Fdsa::new(params(dim), vec![10.0; dim]);
+            fdsa.run(10, |t| t.iter().sum());
+            assert_eq!(fdsa.evaluations(), 20 * dim as u64);
+        }
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let mut fdsa = Fdsa::new(params(1), vec![10.0]);
+        let theta = fdsa.run(100, |t| (t[0] - 100.0).powi(2));
+        assert!(theta[0] <= 20.0);
+        assert!(theta[0] > 18.0, "driven to wall: {theta:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "convergence")]
+    fn invalid_gains_rejected() {
+        let mut p = params(1);
+        p.gains.alpha = 2.0;
+        let _ = Fdsa::new(p, vec![1.0]);
+    }
+}

@@ -1,0 +1,231 @@
+//! SPSA gain sequences and their convergence conditions.
+//!
+//! The gains are (§4.2.3):
+//!
+//! ```text
+//! a_k = a / (A + k + 1)^alpha,    c_k = c / (k + 1)^gamma
+//! ```
+//!
+//! with Spall's practically-effective exponents `alpha = 0.602`,
+//! `gamma = 0.101`. Convergence (Spall 2005, Thm 7.1 conditions B.1″)
+//! requires, for gains of this power-law form:
+//!
+//! * `a, c > 0`, `A ≥ 0`;
+//! * `a_k → 0` and `Σ a_k = ∞`  ⇔  `0 < alpha ≤ 1`;
+//! * `c_k → 0`  ⇔  `gamma > 0`;
+//! * `Σ (a_k / c_k)² < ∞`  ⇔  `2 (alpha − gamma) > 1`.
+//!
+//! [`GainSchedule::check_conditions`] verifies all of these symbolically —
+//! this is the machine-checkable half of the paper's §4.2.4 argument.
+
+use serde::{Deserialize, Serialize};
+
+/// The `(a, A, c, alpha, gamma)` gain parameterization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GainSchedule {
+    /// Numerator of the step-size sequence `a_k`.
+    pub a: f64,
+    /// Stability constant `A` (paper recommends ≤ 10% of expected
+    /// iterations; §5.6 sets `A = 1`).
+    pub big_a: f64,
+    /// Numerator of the perturbation-size sequence `c_k` (≈ the std-dev of
+    /// objective measurements, §5.6).
+    pub c: f64,
+    /// Step-size decay exponent (Spall's practical value: 0.602).
+    pub alpha: f64,
+    /// Perturbation decay exponent (Spall's practical value: 0.101).
+    pub gamma: f64,
+}
+
+impl GainSchedule {
+    /// The paper's experimental setting: `A = 1, a = 10, c = 2` with the
+    /// standard exponents (§6.2.1).
+    pub fn paper_default() -> Self {
+        GainSchedule {
+            a: 10.0,
+            big_a: 1.0,
+            c: 2.0,
+            alpha: 0.602,
+            gamma: 0.101,
+        }
+    }
+
+    /// Spall's §5.6-style guideline: `a` ≈ half the (scaled) configuration
+    /// range, `c` ≈ the measurement noise std-dev, `A` ≈ 10% of the
+    /// expected iteration count.
+    pub fn guideline(scaled_range: f64, measurement_std: f64, expected_iters: f64) -> Self {
+        GainSchedule {
+            a: (scaled_range / 2.0).max(f64::MIN_POSITIVE),
+            big_a: (expected_iters * 0.1).max(0.0),
+            c: measurement_std.max(1e-6),
+            alpha: 0.602,
+            gamma: 0.101,
+        }
+    }
+
+    /// Step size at iteration `k` (0-based): `a / (A + k + 1)^alpha`.
+    pub fn a_k(&self, k: u64) -> f64 {
+        self.a / (self.big_a + k as f64 + 1.0).powf(self.alpha)
+    }
+
+    /// Perturbation size at iteration `k` (0-based): `c / (k + 1)^gamma`.
+    pub fn c_k(&self, k: u64) -> f64 {
+        self.c / (k as f64 + 1.0).powf(self.gamma)
+    }
+
+    /// Verify the convergence conditions symbolically.
+    pub fn check_conditions(&self) -> ConditionReport {
+        let positive = self.a > 0.0 && self.c > 0.0 && self.big_a >= 0.0;
+        let ak_to_zero = self.alpha > 0.0;
+        let ck_to_zero = self.gamma > 0.0;
+        let sum_ak_diverges = self.alpha > 0.0 && self.alpha <= 1.0;
+        let ratio_sq_summable = 2.0 * (self.alpha - self.gamma) > 1.0;
+        ConditionReport {
+            positive,
+            ak_to_zero,
+            ck_to_zero,
+            sum_ak_diverges,
+            ratio_sq_summable,
+        }
+    }
+
+    /// True when every convergence condition holds.
+    pub fn satisfies_convergence(&self) -> bool {
+        self.check_conditions().all()
+    }
+}
+
+impl Default for GainSchedule {
+    fn default() -> Self {
+        GainSchedule::paper_default()
+    }
+}
+
+/// Per-condition verdicts from [`GainSchedule::check_conditions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConditionReport {
+    /// `a, c > 0` and `A ≥ 0`.
+    pub positive: bool,
+    /// `a_k → 0` (needs `alpha > 0`).
+    pub ak_to_zero: bool,
+    /// `c_k → 0` (needs `gamma > 0`).
+    pub ck_to_zero: bool,
+    /// `Σ a_k = ∞` (needs `alpha ≤ 1`).
+    pub sum_ak_diverges: bool,
+    /// `Σ (a_k/c_k)² < ∞` (needs `2(alpha − gamma) > 1`).
+    pub ratio_sq_summable: bool,
+}
+
+impl ConditionReport {
+    /// All conditions hold.
+    pub fn all(&self) -> bool {
+        self.positive
+            && self.ak_to_zero
+            && self.ck_to_zero
+            && self.sum_ak_diverges
+            && self.ratio_sq_summable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_satisfies_all_conditions() {
+        let g = GainSchedule::paper_default();
+        let r = g.check_conditions();
+        assert!(r.all(), "{r:?}");
+        // 2(0.602 - 0.101) = 1.002 > 1 — just barely, as Spall designed.
+        assert!(2.0 * (g.alpha - g.gamma) > 1.0);
+    }
+
+    #[test]
+    fn gains_match_formula() {
+        let g = GainSchedule::paper_default();
+        // k = 0: a_0 = 10 / (1 + 0 + 1)^0.602, c_0 = 2 / 1^0.101 = 2.
+        assert!((g.a_k(0) - 10.0 / 2.0_f64.powf(0.602)).abs() < 1e-12);
+        assert!((g.c_k(0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gains_decay_monotonically_to_zero() {
+        let g = GainSchedule::paper_default();
+        let mut prev_a = f64::INFINITY;
+        let mut prev_c = f64::INFINITY;
+        for k in 0..1000 {
+            let (a, c) = (g.a_k(k), g.c_k(k));
+            assert!(a < prev_a && c < prev_c);
+            assert!(a > 0.0 && c > 0.0);
+            prev_a = a;
+            prev_c = c;
+        }
+        assert!(g.a_k(1_000_000) < 1e-2);
+    }
+
+    #[test]
+    fn numeric_partial_sums_agree_with_symbolic_verdicts() {
+        let g = GainSchedule::paper_default();
+        // Σ a_k grows without visible bound (log divergence is slow but
+        // strictly increasing); Σ (a_k/c_k)^2 visibly converges.
+        let sum_a: f64 = (0..100_000).map(|k| g.a_k(k)).sum();
+        let sum_a_more: f64 = (0..200_000).map(|k| g.a_k(k)).sum();
+        assert!(sum_a_more > sum_a + 100.0, "Σ a_k keeps growing");
+
+        let tail_ratio: f64 = (100_000..200_000)
+            .map(|k| (g.a_k(k) / g.c_k(k)).powi(2))
+            .sum();
+        let head_ratio: f64 = (0..100_000).map(|k| (g.a_k(k) / g.c_k(k)).powi(2)).sum();
+        assert!(tail_ratio < head_ratio * 0.1, "Σ (a_k/c_k)² tail vanishes");
+    }
+
+    #[test]
+    fn bad_schedules_are_rejected() {
+        // gamma too large: 2(alpha - gamma) <= 1.
+        let bad = GainSchedule {
+            gamma: 0.2,
+            ..GainSchedule::paper_default()
+        };
+        assert!(!bad.satisfies_convergence());
+        assert!(!bad.check_conditions().ratio_sq_summable);
+
+        // alpha > 1: steps summable, premature convergence.
+        let bad = GainSchedule {
+            alpha: 1.5,
+            ..GainSchedule::paper_default()
+        };
+        assert!(!bad.check_conditions().sum_ak_diverges);
+
+        // non-positive numerators.
+        let bad = GainSchedule {
+            a: 0.0,
+            ..GainSchedule::paper_default()
+        };
+        assert!(!bad.check_conditions().positive);
+    }
+
+    #[test]
+    fn guideline_produces_valid_schedule() {
+        let g = GainSchedule::guideline(19.0, 1.5, 50.0);
+        assert!(g.satisfies_convergence());
+        assert!((g.a - 9.5).abs() < 1e-12);
+        assert!((g.c - 1.5).abs() < 1e-12);
+        assert!((g.big_a - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn big_a_damps_early_steps() {
+        let small_a = GainSchedule {
+            big_a: 0.0,
+            ..GainSchedule::paper_default()
+        };
+        let large_a = GainSchedule {
+            big_a: 100.0,
+            ..GainSchedule::paper_default()
+        };
+        assert!(large_a.a_k(0) < small_a.a_k(0));
+        // Asymptotically they agree.
+        let ratio = large_a.a_k(1_000_000) / small_a.a_k(1_000_000);
+        assert!((ratio - 1.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the optimizer core.
+
+use nostop_core::objective::PenaltySchedule;
+use nostop_core::policy::PauseRule;
+use nostop_core::sa::{GainSchedule, Spsa, SpsaParams};
+use nostop_core::space::{ConfigSpace, ParamSpec};
+use nostop_simcore::SimRng;
+use proptest::prelude::*;
+
+fn arb_space() -> impl Strategy<Value = ConfigSpace> {
+    (1.0f64..50.0, 60.0f64..500.0, 1.0f64..10.0, 15.0f64..100.0).prop_map(
+        |(min_a, max_a, min_b, max_b)| {
+            ConfigSpace::new(
+                vec![
+                    ParamSpec::new("a", min_a, max_a, 0.0),
+                    ParamSpec::new("b", min_b, max_b, 1.0),
+                ],
+                1.0,
+                20.0,
+            )
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn scaling_round_trips_within_quantum(space in arb_space(), fa in 0.0f64..1.0, fb in 0.0f64..1.0) {
+        let phys = vec![
+            space.params[0].min + fa * (space.params[0].max - space.params[0].min),
+            space.params[1].min + fb * (space.params[1].max - space.params[1].min),
+        ];
+        let back = space.to_physical(&space.to_scaled(&phys));
+        // Continuous dim: exact (within float noise); quantized dim:
+        // within half a quantum.
+        prop_assert!((back[0] - phys[0]).abs() < 1e-6 * space.params[0].max);
+        prop_assert!((back[1] - phys[1]).abs() <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn to_physical_always_in_range(space in arb_space(), s1 in -100.0f64..100.0, s2 in -100.0f64..100.0) {
+        let phys = space.to_physical(&[s1, s2]);
+        for (v, p) in phys.iter().zip(&space.params) {
+            prop_assert!(*v >= p.min - 1e-9 && *v <= p.max + 1e-9);
+        }
+    }
+
+    #[test]
+    fn clamp_scaled_is_idempotent_and_bounded(space in arb_space(), s1 in -100.0f64..100.0, s2 in -100.0f64..100.0) {
+        let once = space.clamp_scaled(&[s1, s2]);
+        let twice = space.clamp_scaled(&once);
+        prop_assert_eq!(&once, &twice);
+        for v in once {
+            prop_assert!((1.0..=20.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn valid_gain_exponents_pass_all_conditions(
+        alpha in 0.51f64..1.0,
+        gamma_frac in 0.01f64..0.99,
+        a in 0.1f64..100.0,
+        c in 0.1f64..10.0,
+        big_a in 0.0f64..100.0,
+    ) {
+        // gamma < alpha - 0.5 guarantees 2(alpha - gamma) > 1.
+        let gamma = (alpha - 0.5) * gamma_frac;
+        prop_assume!(gamma > 0.0);
+        let g = GainSchedule { a, big_a, c, alpha, gamma };
+        prop_assert!(g.satisfies_convergence(), "{:?}", g.check_conditions());
+        // Gains decay monotonically.
+        prop_assert!(g.a_k(0) > g.a_k(10));
+        prop_assert!(g.c_k(0) > g.c_k(10));
+    }
+
+    #[test]
+    fn gain_violations_are_caught(alpha in 1.01f64..3.0) {
+        let g = GainSchedule { alpha, ..GainSchedule::paper_default() };
+        prop_assert!(!g.check_conditions().sum_ak_diverges);
+    }
+
+    #[test]
+    fn spsa_iterates_never_leave_bounds(
+        seed in any::<u64>(),
+        start1 in 1.0f64..20.0,
+        start2 in 1.0f64..20.0,
+        ys in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..40),
+    ) {
+        // Whatever (even adversarial) measurements come back, checkBound
+        // keeps every iterate and every probe inside the box.
+        let mut spsa = Spsa::new(
+            SpsaParams::paper_default(2),
+            vec![start1, start2],
+            SimRng::seed_from_u64(seed),
+        );
+        for (y_plus, y_minus) in ys {
+            let p = spsa.propose();
+            for probe in [&p.theta_plus, &p.theta_minus] {
+                for v in probe {
+                    prop_assert!((1.0..=20.0).contains(v));
+                }
+            }
+            let info = spsa.update(&p, y_plus, y_minus);
+            for v in &info.theta {
+                prop_assert!((1.0..=20.0).contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn spsa_identical_measurements_freeze_the_iterate(seed in any::<u64>(), y in -50.0f64..50.0) {
+        let mut spsa = Spsa::new(
+            SpsaParams::paper_default(2),
+            vec![10.0, 10.0],
+            SimRng::seed_from_u64(seed),
+        );
+        let before = spsa.theta().to_vec();
+        let p = spsa.propose();
+        let info = spsa.update(&p, y, y);
+        prop_assert_eq!(info.theta, before, "zero gradient, zero step");
+    }
+
+    #[test]
+    fn penalty_objective_properties(
+        interval in 0.1f64..40.0,
+        proc in 0.0f64..80.0,
+        advances in 0usize..40,
+    ) {
+        let mut p = PenaltySchedule::paper_default();
+        for _ in 0..advances {
+            p.advance();
+        }
+        let g = p.objective(interval, proc);
+        // Never below the interval; equal exactly when stable.
+        prop_assert!(g >= interval - 1e-12);
+        if proc <= interval {
+            prop_assert!((g - interval).abs() < 1e-12);
+        } else {
+            prop_assert!(g > interval);
+        }
+        // Rho stays within [init, max].
+        prop_assert!(p.rho() >= 1.0 - 1e-12 && p.rho() <= 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn pause_rule_keeps_the_n_smallest(delays in prop::collection::vec(0.0f64..100.0, 1..100)) {
+        let mut rule = PauseRule::new(10, 1.0);
+        for &d in &delays {
+            rule.record(d);
+        }
+        let mut sorted = delays.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect_min = sorted[0];
+        prop_assert_eq!(rule.best_delay(), Some(expect_min));
+        prop_assert!(rule.tracked() <= 10);
+        // should_pause only possible once 10 samples exist.
+        if delays.len() < 10 {
+            prop_assert!(!rule.should_pause());
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! A Kafka-like partitioned broker model.
+//!
+//! The paper deploys a Kafka broker on every node and provisions more
+//! partitions than the cluster has cores so Kafka is never the bottleneck
+//! (§6.1). What the streaming engine observes from Kafka is *offsets*: how
+//! many records are available per partition and how many it has consumed.
+//! This model tracks exactly that — per-partition produced/consumed offsets
+//! and lag — plus the consumer-side rate limit that Spark's back pressure
+//! mechanism manipulates (`spark.streaming.kafka.maxRatePerPartition`).
+//!
+//! Record payloads are *not* stored: the simulator's cost models operate on
+//! counts, and workload kernels draw payloads from
+//! [`crate::records::RecordGenerator`] on demand. This keeps simulating a
+//! 230k-records/second stream (the paper's Page Analyze rate) allocation-free.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a partition within the broker.
+pub type PartitionId = usize;
+
+/// Broker construction parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BrokerConfig {
+    /// Number of partitions. The paper sets this larger than the cluster's
+    /// total core count.
+    pub partitions: usize,
+    /// Consumer-side rate limit in records/second across all partitions
+    /// (`None` = unlimited). This is the back-pressure knob.
+    pub max_consume_rate: Option<f64>,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            partitions: 32,
+            max_consume_rate: None,
+        }
+    }
+}
+
+/// Per-partition offset state.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct Partition {
+    produced: u64,
+    consumed: u64,
+    /// Fractional record carry from uniform distribution of production.
+    carry: f64,
+}
+
+impl Partition {
+    fn lag(&self) -> u64 {
+        self.produced - self.consumed
+    }
+}
+
+/// A partitioned broker with offset/lag accounting and a consume-rate limit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Broker {
+    partitions: Vec<Partition>,
+    max_consume_rate: Option<f64>,
+    /// Fractional budget carry for the rate limiter.
+    rate_carry: f64,
+}
+
+impl Broker {
+    /// Create a broker per `config`. Panics when `partitions == 0`.
+    pub fn new(config: BrokerConfig) -> Self {
+        assert!(
+            config.partitions >= 1,
+            "broker needs at least one partition"
+        );
+        Broker {
+            partitions: vec![Partition::default(); config.partitions],
+            max_consume_rate: config.max_consume_rate,
+            rate_carry: 0.0,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Produce `count` records, spread uniformly across partitions (the
+    /// paper's skew-avoidance rule). Fractional shares carry over so that
+    /// long-run distribution is exactly uniform.
+    pub fn produce(&mut self, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let n = self.partitions.len() as f64;
+        let share = count as f64 / n;
+        for p in &mut self.partitions {
+            let want = share + p.carry;
+            let whole = want.floor();
+            p.carry = want - whole;
+            p.produced += whole as u64;
+        }
+    }
+
+    /// Total records ever produced.
+    pub fn total_produced(&self) -> u64 {
+        self.partitions.iter().map(|p| p.produced).sum()
+    }
+
+    /// Total records ever consumed.
+    pub fn total_consumed(&self) -> u64 {
+        self.partitions.iter().map(|p| p.consumed).sum()
+    }
+
+    /// Records available but not yet consumed, across all partitions.
+    pub fn total_lag(&self) -> u64 {
+        self.partitions.iter().map(|p| p.lag()).sum()
+    }
+
+    /// Per-partition lag snapshot.
+    pub fn partition_lags(&self) -> Vec<u64> {
+        self.partitions.iter().map(|p| p.lag()).collect()
+    }
+
+    /// Set (or clear) the consumer-side rate limit in records/second.
+    pub fn set_max_consume_rate(&mut self, rate: Option<f64>) {
+        self.max_consume_rate = rate.map(|r| r.max(0.0));
+        if self.max_consume_rate.is_none() {
+            self.rate_carry = 0.0;
+        }
+    }
+
+    /// The current consume-rate limit, if any.
+    pub fn max_consume_rate(&self) -> Option<f64> {
+        self.max_consume_rate
+    }
+
+    /// Consume up to the rate-limit budget for an `elapsed_secs` window,
+    /// uniformly across partitions. Returns the number of records consumed.
+    ///
+    /// Without a rate limit, consumes the entire lag (Spark's direct stream
+    /// takes every record available at batch-cut time).
+    pub fn consume_window(&mut self, elapsed_secs: f64) -> u64 {
+        let lag = self.total_lag();
+        let budget = match self.max_consume_rate {
+            None => lag,
+            Some(rate) => {
+                let allowed = rate * elapsed_secs.max(0.0) + self.rate_carry;
+                let whole = allowed.floor().max(0.0);
+                let take = (whole as u64).min(lag);
+                // Carry only the fractional budget; unused whole budget does
+                // not accumulate (Spark recomputes the cap per batch).
+                self.rate_carry = (allowed - whole).clamp(0.0, 1.0);
+                take
+            }
+        };
+        self.take_uniform(budget);
+        budget
+    }
+
+    /// Consume exactly `count` records (or all lag, whichever is smaller),
+    /// uniformly across partitions. Returns the number consumed.
+    pub fn consume_exact(&mut self, count: u64) -> u64 {
+        let take = count.min(self.total_lag());
+        self.take_uniform(take);
+        take
+    }
+
+    fn take_uniform(&mut self, mut remaining: u64) {
+        if remaining == 0 {
+            return;
+        }
+        // Round-robin by repeatedly taking proportional shares; two passes
+        // suffice because lags are near-uniform by construction.
+        loop {
+            let lagging: Vec<usize> = (0..self.partitions.len())
+                .filter(|&i| self.partitions[i].lag() > 0)
+                .collect();
+            if lagging.is_empty() || remaining == 0 {
+                break;
+            }
+            let share = (remaining / lagging.len() as u64).max(1);
+            for &i in &lagging {
+                if remaining == 0 {
+                    break;
+                }
+                let take = share.min(self.partitions[i].lag()).min(remaining);
+                self.partitions[i].consumed += take;
+                remaining -= take;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn broker(parts: usize) -> Broker {
+        Broker::new(BrokerConfig {
+            partitions: parts,
+            max_consume_rate: None,
+        })
+    }
+
+    #[test]
+    fn produce_conserves_count_in_long_run() {
+        let mut b = broker(7);
+        for _ in 0..1000 {
+            b.produce(13);
+        }
+        let total = b.total_produced();
+        // Fractional carries mean at most `partitions` records still in carry.
+        assert!((13_000 - 7..=13_000).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn produce_is_uniform_across_partitions() {
+        let mut b = broker(8);
+        b.produce(8_000);
+        let lags = b.partition_lags();
+        for lag in lags {
+            assert!((999..=1001).contains(&lag), "lag {lag}");
+        }
+    }
+
+    #[test]
+    fn unlimited_consume_takes_entire_lag() {
+        let mut b = broker(4);
+        b.produce(1_000);
+        let got = b.consume_window(1.0);
+        assert_eq!(got, b.total_consumed());
+        assert_eq!(b.total_lag(), 0);
+    }
+
+    #[test]
+    fn rate_limit_caps_consumption() {
+        let mut b = broker(4);
+        b.set_max_consume_rate(Some(100.0));
+        b.produce(1_000);
+        let got = b.consume_window(2.0); // budget = 200
+        assert_eq!(got, 200);
+        assert_eq!(b.total_lag(), 800);
+    }
+
+    #[test]
+    fn rate_limit_fractional_budget_carries() {
+        let mut b = broker(1);
+        b.set_max_consume_rate(Some(0.5));
+        b.produce(10);
+        assert_eq!(b.consume_window(1.0), 0); // 0.5 budget -> carry
+        assert_eq!(b.consume_window(1.0), 1); // 1.0 budget
+        assert_eq!(b.total_lag(), 9);
+    }
+
+    #[test]
+    fn clearing_rate_limit_restores_full_drain() {
+        let mut b = broker(2);
+        b.set_max_consume_rate(Some(10.0));
+        b.produce(100);
+        b.consume_window(1.0);
+        b.set_max_consume_rate(None);
+        b.consume_window(0.0);
+        assert_eq!(b.total_lag(), 0);
+    }
+
+    #[test]
+    fn consume_exact_respects_lag() {
+        let mut b = broker(3);
+        b.produce(30);
+        assert_eq!(b.consume_exact(10), 10);
+        assert_eq!(b.total_lag(), 20);
+        assert_eq!(b.consume_exact(100), 20);
+        assert_eq!(b.total_lag(), 0);
+        assert_eq!(b.consume_exact(5), 0);
+    }
+
+    #[test]
+    fn consume_is_spread_across_partitions() {
+        let mut b = broker(4);
+        b.produce(400);
+        b.consume_exact(200);
+        for lag in b.partition_lags() {
+            assert!((40..=60).contains(&lag), "lag {lag}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "partition")]
+    fn zero_partitions_panics() {
+        let _ = Broker::new(BrokerConfig {
+            partitions: 0,
+            max_consume_rate: None,
+        });
+    }
+}

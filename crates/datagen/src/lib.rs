@@ -1,0 +1,30 @@
+//! Streaming data generation for the NoStop reproduction.
+//!
+//! The paper (§6.1–6.2) deploys a data generator *outside* the cluster that
+//! sends records to Kafka brokers at a varying rate, spread uniformly over
+//! partitions to avoid skew. This crate reproduces that substrate:
+//!
+//! * [`rate`] — arrival-rate processes: the paper's uniform-random rate in
+//!   `[MinRate, MaxRate]` redrawn periodically (§6.2.2), plus constant,
+//!   sinusoidal, ramp, surge (e-commerce promotion spikes), and recorded
+//!   traces, with composition.
+//! * [`records`] — synthetic record generators for the four workloads:
+//!   labelled feature vectors for (logistic|linear) regression, text lines
+//!   for WordCount, and Nginx *combined log format* lines for Log Analyze.
+//! * [`broker`] — a Kafka-like partitioned broker: per-partition FIFO queues
+//!   with offsets, uniform round-robin production, consumer polling, lag
+//!   accounting, and a producer-side rate limit hook (the knob Spark's back
+//!   pressure turns).
+//! * [`generator`] — [`generator::StreamGenerator`] ties a rate process to a
+//!   broker: advancing virtual time materializes the right (fractional-
+//!   accumulated) number of records in each partition.
+
+pub mod broker;
+pub mod generator;
+pub mod rate;
+pub mod records;
+
+pub use broker::{Broker, BrokerConfig, PartitionId};
+pub use generator::StreamGenerator;
+pub use rate::RateProcess;
+pub use records::{Record, RecordGenerator, RecordKind};

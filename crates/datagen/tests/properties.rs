@@ -1,0 +1,134 @@
+//! Property-based tests for the data-generation substrate.
+
+use nostop_datagen::broker::{Broker, BrokerConfig};
+use nostop_datagen::rate::{ConstantRate, RampRate, RateProcess, TraceRate, UniformRandomRate};
+use nostop_datagen::StreamGenerator;
+use nostop_simcore::{SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn broker_conserves_records(
+        partitions in 1usize..64,
+        ops in prop::collection::vec((0u64..10_000, 0u64..10_000), 1..60),
+    ) {
+        // produced == consumed + lag at every point in any interleaving of
+        // produce/consume operations.
+        let mut b = Broker::new(BrokerConfig { partitions, max_consume_rate: None });
+        for (produce, consume) in ops {
+            b.produce(produce);
+            b.consume_exact(consume);
+            prop_assert_eq!(b.total_produced(), b.total_consumed() + b.total_lag());
+        }
+    }
+
+    #[test]
+    fn broker_lag_spread_is_uniform(partitions in 1usize..32, total in 0u64..100_000) {
+        let mut b = Broker::new(BrokerConfig { partitions, max_consume_rate: None });
+        b.produce(total);
+        let lags = b.partition_lags();
+        let max = lags.iter().max().copied().unwrap_or(0);
+        let min = lags.iter().min().copied().unwrap_or(0);
+        // Uniform production: spread at most 1 record (fractional carry).
+        prop_assert!(max - min <= 1, "spread {max}-{min}");
+    }
+
+    #[test]
+    fn rate_limit_is_respected(
+        rate in 1.0f64..10_000.0,
+        window in 0.01f64..100.0,
+        backlog in 0u64..1_000_000,
+    ) {
+        let mut b = Broker::new(BrokerConfig { partitions: 8, max_consume_rate: Some(rate) });
+        b.produce(backlog);
+        let consumed = b.consume_window(window);
+        prop_assert!(consumed as f64 <= rate * window + 1.0, "{consumed} vs {}", rate * window);
+    }
+
+    #[test]
+    fn generator_total_is_step_pattern_independent(
+        rate in 1.0f64..100_000.0,
+        splits in prop::collection::vec(0.05f64..5.0, 1..30),
+    ) {
+        let total_secs: f64 = splits.iter().sum();
+        let run_coarse = {
+            let mut g = StreamGenerator::new(Box::new(ConstantRate::new(rate)));
+            let mut b = Broker::new(BrokerConfig::default());
+            g.advance_to(SimTime::from_secs_f64(total_secs), &mut b)
+        };
+        let run_fine = {
+            let mut g = StreamGenerator::new(Box::new(ConstantRate::new(rate)));
+            let mut b = Broker::new(BrokerConfig::default());
+            let mut t = 0.0;
+            let mut total = 0;
+            for s in &splits {
+                t += s;
+                total += g.advance_to(SimTime::from_secs_f64(t), &mut b);
+            }
+            total
+        };
+        // SimTime rounding of the split points can shift the integration
+        // grid by at most one microsecond per split.
+        let tolerance = 1 + (rate * 1e-6 * splits.len() as f64).ceil() as u64;
+        prop_assert!(
+            run_coarse.abs_diff(run_fine) <= tolerance,
+            "{run_coarse} vs {run_fine}"
+        );
+    }
+
+    #[test]
+    fn uniform_rate_stays_in_bounds_forever(
+        lo in 0.0f64..1e5,
+        width in 1.0f64..1e5,
+        hold in 0.5f64..120.0,
+        seed in any::<u64>(),
+        ts in prop::collection::vec(0.0f64..1e5, 1..50),
+    ) {
+        let hi = lo + width;
+        let mut r = UniformRandomRate::new(lo, hi, hold, SimRng::seed_from_u64(seed));
+        let mut sorted = ts.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for t in sorted {
+            let rate = r.rate_at(SimTime::from_secs_f64(t));
+            prop_assert!((lo..=hi).contains(&rate));
+        }
+    }
+
+    #[test]
+    fn ramp_is_monotone(start in 0.0f64..1e5, end in 0.0f64..1e5, dur in 0.1f64..1e4) {
+        let mut r = RampRate::new(start, end, dur);
+        let mut prev = r.rate_at(SimTime::ZERO);
+        for i in 1..=20 {
+            let t = SimTime::from_secs_f64(dur * i as f64 / 10.0);
+            let v = r.rate_at(t);
+            if end >= start {
+                prop_assert!(v >= prev - 1e-9);
+            } else {
+                prop_assert!(v <= prev + 1e-9);
+            }
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn trace_rate_is_piecewise_constant(points in prop::collection::vec((0.0f64..1e4, 0.0f64..1e5), 1..20)) {
+        let mut r = TraceRate::new(points.clone());
+        let mut sorted = points;
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        // Between breakpoints the value equals the preceding breakpoint's.
+        for w in sorted.windows(2) {
+            let mid = (w[0].0 + w[1].0) / 2.0;
+            if mid > w[0].0 && mid < w[1].0 {
+                let got = r.rate_at(SimTime::from_secs_f64(mid));
+                // The preceding breakpoint with the largest time wins; with
+                // duplicate times the last sorted entry at that time wins.
+                let expect = sorted
+                    .iter().rfind(|(t, _)| *t <= mid)
+                    .unwrap()
+                    .1
+                    .max(0.0);
+                prop_assert!((got - expect).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Shared simulation primitives for the NoStop reproduction.
+//!
+//! This crate provides the foundational machinery that every other crate in
+//! the workspace builds on:
+//!
+//! * [`time`] — a microsecond-resolution virtual clock ([`SimTime`],
+//!   [`SimDuration`]) so that hours of streaming execution simulate in
+//!   milliseconds, deterministically.
+//! * [`events`] — a generic discrete-event queue with stable FIFO ordering
+//!   for simultaneous events.
+//! * [`rng`] — a seedable random source ([`SimRng`]) with the distributions
+//!   the simulator and the SPSA optimizer need (normal via Box–Muller,
+//!   log-normal, exponential, symmetric Bernoulli ±1), plus deterministic
+//!   stream forking so independent subsystems draw from independent streams.
+//! * [`stats`] — online (Welford) and windowed statistics used by both the
+//!   metrics listener and the NoStop pause/reset policies.
+//! * [`series`] — lightweight time-series recording for the figure
+//!   regeneration binaries.
+//!
+//! Everything here is `no_std`-agnostic in spirit (no I/O, no wall-clock),
+//! which is what makes the experiments reproducible bit-for-bit from a seed.
+
+pub mod events;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+
+pub use events::EventQueue;
+pub use rng::SimRng;
+pub use series::TimeSeries;
+pub use stats::{RollingStats, Summary, Welford};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,268 @@
+//! Seeded randomness for reproducible experiments.
+//!
+//! [`SimRng`] wraps [`rand::rngs::StdRng`] with the distributions this
+//! workspace needs and deterministic *stream forking*: every subsystem
+//! (receiver noise, task noise, SPSA perturbations, workload iteration
+//! counts, …) forks its own independent stream from one experiment seed, so
+//! adding an RNG consumer to one subsystem never perturbs another.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// SplitMix64 finalizer — used to derive well-mixed child seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A deterministic random source with simulation-oriented helpers.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+    /// Cached second output of the last Box–Muller transform.
+    spare_normal: Option<f64>,
+}
+
+impl SimRng {
+    /// Create a generator from an experiment seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+            spare_normal: None,
+        }
+    }
+
+    /// The seed this generator was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent child stream identified by `stream`.
+    ///
+    /// Forking is a pure function of `(seed, stream)` — it does not consume
+    /// state from `self` — so subsystems can be initialized in any order.
+    pub fn fork(&self, stream: u64) -> SimRng {
+        let child = splitmix64(self.seed ^ splitmix64(stream.wrapping_add(0xA5A5_5A5A_1234_5678)));
+        SimRng::seed_from_u64(child)
+    }
+
+    /// Uniform in `[lo, hi)`. Returns `lo` when the range is empty or inverted.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// A standard-normal draw via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Draw u1 in (0, 1] to keep ln(u1) finite.
+        let u1: f64 = 1.0 - self.inner.gen::<f64>();
+        let u2: f64 = self.inner.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// A normal draw with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev.max(0.0) * self.standard_normal()
+    }
+
+    /// A log-normal draw: `exp(N(mu, sigma))`.
+    ///
+    /// With `mu = -sigma^2 / 2` the draw has unit mean, which is how the
+    /// simulator models multiplicative task-time noise without bias.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// A unit-mean multiplicative noise factor with coefficient `sigma`.
+    pub fn noise_factor(&mut self, sigma: f64) -> f64 {
+        if sigma <= 0.0 {
+            return 1.0;
+        }
+        self.lognormal(-sigma * sigma / 2.0, sigma)
+    }
+
+    /// An exponential draw with the given rate (mean `1/rate`).
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        -u.ln() / rate
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.inner.gen::<f64>() < p.clamp(0.0, 1.0)
+    }
+
+    /// A symmetric Bernoulli ±1 draw — the SPSA perturbation distribution.
+    pub fn bernoulli_pm1(&mut self) -> f64 {
+        if self.inner.gen::<bool>() {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// A Poisson draw (Knuth's method; suitable for the small means used by
+    /// the contention-spike process).
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        if mean <= 0.0 {
+            return 0;
+        }
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.inner.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            if k > 10_000 {
+                // Defensive cap; unreachable for the means we use.
+                return k;
+            }
+        }
+    }
+
+    /// Access the underlying `rand` generator for anything not covered above.
+    pub fn raw(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forked_streams_are_independent_of_parent_state() {
+        let parent = SimRng::seed_from_u64(7);
+        let mut used = SimRng::seed_from_u64(7);
+        let _ = used.next_u64(); // consume parent state
+        let mut f1 = parent.fork(3);
+        let mut f2 = used.fork(3);
+        for _ in 0..50 {
+            assert_eq!(f1.next_u64(), f2.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_streams_differ() {
+        let parent = SimRng::seed_from_u64(7);
+        let a: Vec<u64> = {
+            let mut r = parent.fork(1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = parent.fork(2);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut r = SimRng::seed_from_u64(123);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn noise_factor_has_unit_mean() {
+        let mut r = SimRng::seed_from_u64(9);
+        let n = 200_000;
+        let mean = (0..n).map(|_| r.noise_factor(0.3)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        assert_eq!(r.noise_factor(0.0), 1.0);
+    }
+
+    #[test]
+    fn bernoulli_pm1_is_balanced_and_unit_magnitude() {
+        let mut r = SimRng::seed_from_u64(77);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let d = r.bernoulli_pm1();
+            assert!(d == 1.0 || d == -1.0);
+            sum += d;
+        }
+        assert!((sum / n as f64).abs() < 0.01);
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = SimRng::seed_from_u64(5);
+        let n = 100_000;
+        let mean = (0..n).map(|_| r.exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_matches_parameter() {
+        let mut r = SimRng::seed_from_u64(6);
+        let n = 50_000;
+        let mean = (0..n).map(|_| r.poisson(3.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert_eq!(r.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn uniform_edge_cases() {
+        let mut r = SimRng::seed_from_u64(1);
+        assert_eq!(r.uniform(3.0, 3.0), 3.0);
+        assert_eq!(r.uniform(5.0, 2.0), 5.0);
+        assert_eq!(r.uniform_u64(9, 9), 9);
+        for _ in 0..1000 {
+            let x = r.uniform(2.0, 4.0);
+            assert!((2.0..4.0).contains(&x));
+        }
+    }
+}

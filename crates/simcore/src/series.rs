@@ -1,0 +1,175 @@
+//! Time-series recording for experiment output.
+//!
+//! Each figure regenerator collects one or more [`TimeSeries`] and prints
+//! them as aligned columns or CSV, mirroring the series plotted in the paper.
+
+use crate::stats::{summarize, Summary};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A named sequence of `(time, value)` samples.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Series name (used as the column header).
+    pub name: String,
+    /// Samples in insertion order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a sample at simulation instant `t`.
+    pub fn push_at(&mut self, t: SimTime, value: f64) {
+        self.points.push((t.as_secs_f64(), value));
+    }
+
+    /// Append a sample with an explicit x-coordinate (e.g. iteration index).
+    pub fn push(&mut self, x: f64, value: f64) {
+        self.points.push((x, value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The y-values.
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// Statistical summary of the y-values.
+    pub fn summary(&self) -> Summary {
+        summarize(&self.values())
+    }
+
+    /// The final sample, if any.
+    pub fn last(&self) -> Option<(f64, f64)> {
+        self.points.last().copied()
+    }
+
+    /// Render as two-column CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.points.len() * 24 + 16);
+        let _ = writeln!(out, "x,{}", self.name);
+        for &(x, y) in &self.points {
+            let _ = writeln!(out, "{x},{y}");
+        }
+        out
+    }
+}
+
+/// Render multiple series sharing an x-axis as aligned CSV columns.
+///
+/// Rows are the union of x-values; series missing a given x emit an empty
+/// cell. Useful when several metrics were sampled on slightly different
+/// schedules (e.g. batch completions vs. controller rounds).
+pub fn merged_csv(series: &[&TimeSeries]) -> String {
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    let mut out = String::new();
+    let _ = write!(out, "x");
+    for s in series {
+        let _ = write!(out, ",{}", s.name);
+    }
+    let _ = writeln!(out);
+
+    // Per-series cursor: points are not required to be sorted, so index them.
+    let indexed: Vec<std::collections::BTreeMap<u64, f64>> = series
+        .iter()
+        .map(|s| s.points.iter().map(|&(x, y)| (quantize(x), y)).collect())
+        .collect();
+
+    for x in xs {
+        let _ = write!(out, "{x}");
+        let key = quantize(x);
+        for m in &indexed {
+            match m.get(&key) {
+                Some(y) => {
+                    let _ = write!(out, ",{y}");
+                }
+                None => {
+                    let _ = write!(out, ",");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn quantize(x: f64) -> u64 {
+    // 1e-9 resolution is far finer than any x-grid we use.
+    (x * 1e9).round() as i64 as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_summary() {
+        let mut s = TimeSeries::new("delay");
+        s.push(0.0, 10.0);
+        s.push(1.0, 20.0);
+        s.push_at(SimTime::from_secs_f64(2.0), 30.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.last(), Some((2.0, 30.0)));
+        let sum = s.summary();
+        assert_eq!(sum.n, 3);
+        assert!((sum.mean - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut s = TimeSeries::new("y");
+        s.push(1.0, 2.0);
+        let csv = s.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("x,y"));
+        assert_eq!(lines.next(), Some("1,2"));
+    }
+
+    #[test]
+    fn merged_csv_aligns_union_of_x() {
+        let mut a = TimeSeries::new("a");
+        a.push(1.0, 10.0);
+        a.push(2.0, 20.0);
+        let mut b = TimeSeries::new("b");
+        b.push(2.0, 200.0);
+        b.push(3.0, 300.0);
+        let csv = merged_csv(&[&a, &b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines[1], "1,10,");
+        assert_eq!(lines[2], "2,20,200");
+        assert_eq!(lines[3], "3,,300");
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        let s = TimeSeries::new("empty");
+        assert!(s.is_empty());
+        assert_eq!(s.last(), None);
+        assert_eq!(s.summary().n, 0);
+        assert_eq!(s.to_csv(), "x,empty\n");
+    }
+}

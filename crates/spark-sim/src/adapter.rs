@@ -1,0 +1,145 @@
+//! The bridge between the simulator and the NoStop controller.
+//!
+//! [`SimSystem`] implements [`StreamingSystem`], so the controller tunes
+//! the simulated cluster through exactly the interface a REST-driven
+//! deployment would expose. To keep that claim honest, the observation
+//! path round-trips through the JSON wire format: the engine's metrics are
+//! serialized to a [`StatusReport`] (what a real listener would POST) and
+//! parsed back before reaching the controller.
+
+use crate::config::StreamConfig;
+use crate::engine::StreamingEngine;
+use nostop_core::listener::StatusReport;
+use nostop_core::system::{BatchObservation, StreamingSystem};
+
+/// A simulated cluster exposed as a tunable streaming system.
+pub struct SimSystem {
+    engine: StreamingEngine,
+    /// When true (default), observations round-trip through the Fig-4 JSON
+    /// wire format.
+    json_roundtrip: bool,
+}
+
+impl SimSystem {
+    /// Wrap an engine.
+    pub fn new(engine: StreamingEngine) -> Self {
+        SimSystem {
+            engine,
+            json_roundtrip: true,
+        }
+    }
+
+    /// Disable the JSON round-trip (saves a few allocations in benches).
+    pub fn without_json_roundtrip(mut self) -> Self {
+        self.json_roundtrip = false;
+        self
+    }
+
+    /// Access the wrapped engine.
+    pub fn engine(&self) -> &StreamingEngine {
+        &self.engine
+    }
+
+    /// Mutable access to the wrapped engine.
+    pub fn engine_mut(&mut self) -> &mut StreamingEngine {
+        &mut self.engine
+    }
+}
+
+impl StreamingSystem for SimSystem {
+    fn apply_config(&mut self, physical: &[f64]) {
+        self.engine
+            .apply_config(StreamConfig::from_physical(physical));
+    }
+
+    fn next_batch(&mut self) -> BatchObservation {
+        self.engine.run_batches(1);
+        let metrics = *self
+            .engine
+            .listener()
+            .last()
+            .expect("run_batches(1) completed a batch");
+        if self.json_roundtrip {
+            let json = metrics.to_status_report().to_json();
+            StatusReport::from_json(&json)
+                .expect("wire format must round-trip")
+                .to_observation()
+        } else {
+            metrics.to_observation()
+        }
+    }
+
+    fn now_s(&self) -> f64 {
+        self.engine.now().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineParams;
+    use crate::noise::NoiseParams;
+    use nostop_datagen::rate::ConstantRate;
+    use nostop_simcore::SimDuration;
+    use nostop_workloads::WorkloadKind;
+
+    fn system(seed: u64) -> SimSystem {
+        let mut params = EngineParams::paper(WorkloadKind::LogisticRegression, seed);
+        params.noise = NoiseParams::disabled();
+        SimSystem::new(StreamingEngine::new(
+            params,
+            StreamConfig::new(SimDuration::from_secs(15), 12),
+            Box::new(ConstantRate::new(10_000.0)),
+        ))
+    }
+
+    #[test]
+    fn next_batch_blocks_until_completion() {
+        let mut s = system(1);
+        let b1 = s.next_batch();
+        let b2 = s.next_batch();
+        assert!(b2.completed_at_s > b1.completed_at_s);
+        assert!(b1.records > 0);
+        assert_eq!(b1.interval_s, 15.0);
+    }
+
+    #[test]
+    fn apply_config_reaches_engine() {
+        let mut s = system(2);
+        s.next_batch();
+        s.apply_config(&[25.0, 16.0]);
+        // Drain until the new interval shows up.
+        let mut seen = false;
+        for _ in 0..5 {
+            if s.next_batch().interval_s == 25.0 {
+                seen = true;
+                break;
+            }
+        }
+        assert!(seen, "new interval must take effect");
+        assert_eq!(s.engine().config().num_executors, 16);
+    }
+
+    #[test]
+    fn json_roundtrip_and_direct_paths_agree() {
+        let mut via_json = system(3);
+        let mut direct = system(3).without_json_roundtrip();
+        for _ in 0..5 {
+            let a = via_json.next_batch();
+            let b = direct.next_batch();
+            // JSON carries millisecond timestamps; agree to 1 ms.
+            assert!((a.processing_s - b.processing_s).abs() < 2e-3);
+            assert!((a.scheduling_delay_s - b.scheduling_delay_s).abs() < 2e-3);
+            assert_eq!(a.records, b.records);
+            assert_eq!(a.num_executors, b.num_executors);
+        }
+    }
+
+    #[test]
+    fn now_advances_with_batches() {
+        let mut s = system(4);
+        let t0 = s.now_s();
+        s.next_batch();
+        assert!(s.now_s() > t0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Cluster topology: nodes, speeds, disks.
+//!
+//! Table 2 of the paper lists the evaluation cluster — one master and four
+//! workers with three different CPU generations and a mix of SSD and HDD
+//! storage. Heterogeneity enters the simulation as a per-node *speed
+//! factor* (task CPU time divides by it) and a *disk class* (shuffle and
+//! sink I/O cost multiplies by it). NoStop itself never sees any of this:
+//! §1 claims it "tackles hardware heterogeneity in a transparent manner",
+//! and the black-box boundary makes that claim structural.
+
+use serde::{Deserialize, Serialize};
+
+/// Storage class of a node. HDDs pay more for shuffle and sink I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiskClass {
+    /// Solid-state storage.
+    Ssd,
+    /// Spinning disk ("HHD" in the paper's Table 2).
+    Hdd,
+}
+
+impl DiskClass {
+    /// Sequential throughput in MB/s used to convert shuffle/sink bytes to
+    /// time.
+    pub fn throughput_mb_s(self) -> f64 {
+        match self {
+            DiskClass::Ssd => 500.0,
+            DiskClass::Hdd => 120.0,
+        }
+    }
+}
+
+/// One cluster node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Node index (0-based; matches Table 2's "Node ID" minus one).
+    pub id: usize,
+    /// Human-readable CPU name.
+    pub cpu: String,
+    /// Physical cores available for executors.
+    pub cores: u32,
+    /// Relative single-core speed (1.0 = the i5-9400 baseline).
+    pub speed: f64,
+    /// Storage class.
+    pub disk: DiskClass,
+    /// Masters run the driver, not executors.
+    pub is_master: bool,
+}
+
+/// A cluster of nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// All nodes, masters included.
+    pub nodes: Vec<NodeSpec>,
+}
+
+impl Cluster {
+    /// The paper's Table 2 cluster: five nodes, one master.
+    ///
+    /// Speed factors approximate single-core performance relative to the
+    /// i5-9400 @ 2.9 GHz: the Xeon Bronze 3204 runs at 1.9 GHz with no
+    /// turbo (≈ 0.65×), the i5-10400 is a slightly newer core (≈ 1.05×).
+    pub fn paper_heterogeneous() -> Self {
+        Cluster {
+            nodes: vec![
+                NodeSpec {
+                    id: 0,
+                    cpu: "i5-9400 2.9GHz".into(),
+                    cores: 6,
+                    speed: 1.0,
+                    disk: DiskClass::Ssd,
+                    is_master: true,
+                },
+                NodeSpec {
+                    id: 1,
+                    cpu: "i5-9400 2.9GHz".into(),
+                    cores: 6,
+                    speed: 1.0,
+                    disk: DiskClass::Ssd,
+                    is_master: false,
+                },
+                NodeSpec {
+                    id: 2,
+                    cpu: "Xeon Bronze 3204 1.9GHz".into(),
+                    cores: 6,
+                    speed: 0.65,
+                    disk: DiskClass::Hdd,
+                    is_master: false,
+                },
+                NodeSpec {
+                    id: 3,
+                    cpu: "i5-10400 2.9GHz".into(),
+                    cores: 6,
+                    speed: 1.05,
+                    disk: DiskClass::Hdd,
+                    is_master: false,
+                },
+                NodeSpec {
+                    id: 4,
+                    cpu: "i5-10400 2.9GHz".into(),
+                    cores: 6,
+                    speed: 1.05,
+                    disk: DiskClass::Hdd,
+                    is_master: false,
+                },
+            ],
+        }
+    }
+
+    /// The ten-node local testbed used for the parameter-effect experiments
+    /// of §3.2 (Figs. 2 and 3): one master plus nine homogeneous workers.
+    pub fn testbed_ten_nodes() -> Self {
+        let mut nodes = vec![NodeSpec {
+            id: 0,
+            cpu: "testbed".into(),
+            cores: 4,
+            speed: 1.0,
+            disk: DiskClass::Ssd,
+            is_master: true,
+        }];
+        for id in 1..10 {
+            nodes.push(NodeSpec {
+                id,
+                cpu: "testbed".into(),
+                cores: 4,
+                speed: 1.0,
+                disk: DiskClass::Ssd,
+                is_master: false,
+            });
+        }
+        Cluster { nodes }
+    }
+
+    /// A homogeneous cluster: one master plus `workers` workers with
+    /// `cores` cores each.
+    pub fn homogeneous(workers: usize, cores: u32, speed: f64, disk: DiskClass) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        assert!(cores >= 1 && speed > 0.0, "invalid node spec");
+        let mut nodes = vec![NodeSpec {
+            id: 0,
+            cpu: "generic".into(),
+            cores,
+            speed,
+            disk,
+            is_master: true,
+        }];
+        for id in 1..=workers {
+            nodes.push(NodeSpec {
+                id,
+                cpu: "generic".into(),
+                cores,
+                speed,
+                disk,
+                is_master: false,
+            });
+        }
+        Cluster { nodes }
+    }
+
+    /// Worker nodes only (executors never run on the master).
+    pub fn workers(&self) -> impl Iterator<Item = &NodeSpec> {
+        self.nodes.iter().filter(|n| !n.is_master)
+    }
+
+    /// Total executor slots (sum of worker cores).
+    pub fn total_worker_cores(&self) -> u32 {
+        self.workers().map(|n| n.cores).sum()
+    }
+
+    /// Node by id.
+    pub fn node(&self, id: usize) -> &NodeSpec {
+        &self.nodes[id]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_encoded_verbatim() {
+        let c = Cluster::paper_heterogeneous();
+        assert_eq!(c.nodes.len(), 5);
+        assert_eq!(c.workers().count(), 4);
+        assert!(c.nodes[0].is_master);
+        // CPU roster matches the table.
+        assert!(c.nodes[1].cpu.contains("i5-9400"));
+        assert!(c.nodes[2].cpu.contains("Xeon Bronze 3204"));
+        assert!(c.nodes[3].cpu.contains("i5-10400"));
+        // Disk classes: nodes 1-2 SSD, 3-5 HDD (paper's "HHD").
+        assert_eq!(c.nodes[0].disk, DiskClass::Ssd);
+        assert_eq!(c.nodes[1].disk, DiskClass::Ssd);
+        assert_eq!(c.nodes[2].disk, DiskClass::Hdd);
+        assert_eq!(c.nodes[4].disk, DiskClass::Hdd);
+        // The Xeon is the slow node.
+        let min_speed = c.workers().map(|n| n.speed).fold(f64::INFINITY, f64::min);
+        assert_eq!(min_speed, c.nodes[2].speed);
+    }
+
+    #[test]
+    fn paper_cluster_supports_twenty_executors() {
+        // §6.2.1 tunes executors up to 20 with one core each; the four
+        // workers must offer at least that many cores.
+        let c = Cluster::paper_heterogeneous();
+        assert!(c.total_worker_cores() >= 20, "{}", c.total_worker_cores());
+    }
+
+    #[test]
+    fn testbed_has_ten_nodes() {
+        let c = Cluster::testbed_ten_nodes();
+        assert_eq!(c.nodes.len(), 10);
+        assert_eq!(c.workers().count(), 9);
+        assert_eq!(c.total_worker_cores(), 36);
+    }
+
+    #[test]
+    fn homogeneous_builder() {
+        let c = Cluster::homogeneous(4, 8, 1.0, DiskClass::Ssd);
+        assert_eq!(c.nodes.len(), 5);
+        assert_eq!(c.total_worker_cores(), 32);
+        assert!(c.nodes[0].is_master && !c.nodes[1].is_master);
+    }
+
+    #[test]
+    fn disk_throughput_ordering() {
+        assert!(DiskClass::Ssd.throughput_mb_s() > DiskClass::Hdd.throughput_mb_s());
+    }
+}

@@ -1,0 +1,85 @@
+//! The runtime-tunable streaming configuration.
+
+use nostop_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The two parameters NoStop tunes (§3.2): batch interval and executor
+/// count. Both are changeable while the application runs — batch interval
+/// through the paper's "system modification", executors through Spark's
+/// dynamic executor allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// The batch interval: how much wall time each micro-batch spans.
+    pub batch_interval: SimDuration,
+    /// Target number of executors (1 core / 1 GB each, §6.2.1).
+    pub num_executors: u32,
+}
+
+impl StreamConfig {
+    /// A configuration from explicit values.
+    pub fn new(batch_interval: SimDuration, num_executors: u32) -> Self {
+        assert!(!batch_interval.is_zero(), "batch interval must be positive");
+        assert!(num_executors >= 1, "need at least one executor");
+        StreamConfig {
+            batch_interval,
+            num_executors,
+        }
+    }
+
+    /// From the physical vector the controller emits:
+    /// `[batch_interval_s, num_executors]`.
+    pub fn from_physical(physical: &[f64]) -> Self {
+        assert!(
+            physical.len() >= 2,
+            "physical config needs [interval_s, executors]"
+        );
+        StreamConfig::new(
+            SimDuration::from_secs_f64(physical[0].max(0.001)),
+            physical[1].round().max(1.0) as u32,
+        )
+    }
+
+    /// Back to the physical vector form.
+    pub fn to_physical(&self) -> Vec<f64> {
+        vec![self.batch_interval.as_secs_f64(), self.num_executors as f64]
+    }
+
+    /// The paper's default starting configuration: the middle of the
+    /// parameter ranges — interval 20.5 s, 10 executors (θ_initial =
+    /// {10, 10} in scaled space maps close to this).
+    pub fn paper_initial() -> Self {
+        StreamConfig::new(SimDuration::from_millis(20_500), 10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn physical_round_trip() {
+        let c = StreamConfig::from_physical(&[10.5, 12.4]);
+        assert_eq!(c.batch_interval, SimDuration::from_millis(10_500));
+        assert_eq!(c.num_executors, 12);
+        assert_eq!(c.to_physical(), vec![10.5, 12.0]);
+    }
+
+    #[test]
+    fn degenerate_values_clamp() {
+        let c = StreamConfig::from_physical(&[0.0, 0.0]);
+        assert!(!c.batch_interval.is_zero());
+        assert_eq!(c.num_executors, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one executor")]
+    fn zero_executors_rejected() {
+        let _ = StreamConfig::new(SimDuration::from_secs(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval_s")]
+    fn short_physical_vector_rejected() {
+        let _ = StreamConfig::from_physical(&[1.0]);
+    }
+}

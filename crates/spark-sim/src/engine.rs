@@ -1,0 +1,584 @@
+//! The streaming engine: the discrete-event run loop.
+//!
+//! Two event sources drive the simulation, exactly as in Spark Streaming:
+//!
+//! * **batch cuts** — every `batch_interval`, the divider consumes what the
+//!   receivers ingested from the broker and enqueues a batch;
+//! * **job completions** — the FIFO job scheduler runs one job at a time
+//!   (Spark's default `spark.streaming.concurrentJobs = 1`); when a job
+//!   finishes the next queued batch starts immediately.
+//!
+//! Runtime reconfiguration follows the paper's semantics: a new batch
+//! interval takes effect at the next cut (the divider is re-armed, no
+//! restart); executor-count changes launch or retire executors
+//! asynchronously ([`crate::executor`]), with launching executors joining
+//! mid-job when they become ready and fresh ones paying one-time jar
+//! shipping. NoStop "is capable of optimizing system configurations online
+//! without rebooting the entire cluster" (§4.3) — so is this engine.
+
+use crate::batch::{Batch, BatchQueue};
+use crate::cluster::Cluster;
+use crate::config::StreamConfig;
+use crate::executor::ExecutorManager;
+use crate::metrics::{BatchMetrics, Listener};
+use crate::noise::{NoiseModel, NoiseParams};
+use crate::scheduler::{simulate_job, Speculation};
+use nostop_datagen::broker::{Broker, BrokerConfig};
+use nostop_datagen::rate::RateProcess;
+use nostop_datagen::StreamGenerator;
+use nostop_simcore::{SimDuration, SimRng, SimTime};
+use nostop_workloads::{CostModel, WorkloadKind};
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineParams {
+    /// The cluster to run on.
+    pub cluster: Cluster,
+    /// Which workload's cost model drives job simulation.
+    pub workload: WorkloadKind,
+    /// Cost model override (`None` = the workload's preset).
+    pub cost: Option<CostModel>,
+    /// Spark's block interval (default 200 ms) — tasks per stage =
+    /// batch interval / block interval.
+    pub block_interval: SimDuration,
+    /// Executor process launch latency.
+    pub launch_delay: SimDuration,
+    /// One-time initialization (jar shipping) for a fresh executor's first
+    /// job.
+    pub executor_init: SimDuration,
+    /// Kafka partitions (paper: more than the cluster's core count).
+    pub partitions: usize,
+    /// Maximum batches waiting in the queue before the divider stops
+    /// consuming. Further data stays in the broker (Kafka retains it) and
+    /// is absorbed by large catch-up batches once the queue drains — the
+    /// actual recovery dynamics of a congested Kafka-direct deployment.
+    pub max_queued_batches: usize,
+    /// Catch-up batches are capped at this multiple of one nominal
+    /// interval's data (the `maxRatePerPartition` guard every production
+    /// Kafka-direct deployment sets), so a congested system recovers via
+    /// bounded batches instead of one unboundedly large one.
+    pub max_catchup_factor: f64,
+    /// Noise environment.
+    pub noise: NoiseParams,
+    /// Speculative execution (Spark's `spark.speculation`); `None` = off,
+    /// matching Spark's default.
+    pub speculation: Option<Speculation>,
+    /// Master seed; all internal streams fork from it.
+    pub seed: u64,
+}
+
+impl EngineParams {
+    /// Paper-style defaults for `workload` on the Table-2 cluster.
+    pub fn paper(workload: WorkloadKind, seed: u64) -> Self {
+        EngineParams {
+            cluster: Cluster::paper_heterogeneous(),
+            workload,
+            cost: None,
+            block_interval: SimDuration::from_millis(200),
+            launch_delay: SimDuration::from_secs(2),
+            executor_init: SimDuration::from_millis(1_500),
+            partitions: 32,
+            max_queued_batches: 5,
+            max_catchup_factor: 3.0,
+            noise: NoiseParams::default(),
+            speculation: None,
+            seed,
+        }
+    }
+
+    /// The ten-node homogeneous testbed of §3.2 (Figs. 2 and 3).
+    pub fn testbed(workload: WorkloadKind, seed: u64) -> Self {
+        EngineParams {
+            cluster: Cluster::testbed_ten_nodes(),
+            ..EngineParams::paper(workload, seed)
+        }
+    }
+}
+
+/// A running job: the batch being processed and when it will finish.
+#[derive(Debug, Clone, Copy)]
+struct RunningJob {
+    batch: Batch,
+    started_at: SimTime,
+    finishes_at: SimTime,
+    executors: u32,
+    stages: u32,
+    busy_cores: SimDuration,
+}
+
+/// The discrete-event Spark Streaming engine.
+pub struct StreamingEngine {
+    params: EngineParams,
+    cost: CostModel,
+    clock: SimTime,
+    /// Interval used for the *next* cut (pending changes land here).
+    current_interval: SimDuration,
+    /// Executor target as last applied.
+    target_executors: u32,
+    executors: ExecutorManager,
+    broker: Broker,
+    generator: StreamGenerator,
+    noise: NoiseModel,
+    /// RNG stream for per-job stage sampling.
+    job_rng: SimRng,
+    queue: BatchQueue,
+    running: Option<RunningJob>,
+    next_cut: SimTime,
+    last_cut: SimTime,
+    /// Records that arrived at the broker since the last successful cut.
+    arrived_since_cut: u64,
+    listener: Listener,
+    /// Cursor for `drain_completed`.
+    drained: usize,
+}
+
+impl StreamingEngine {
+    /// Build an engine with an initial configuration and a rate process.
+    pub fn new(params: EngineParams, initial: StreamConfig, rate: Box<dyn RateProcess>) -> Self {
+        let cost = params
+            .cost
+            .clone()
+            .unwrap_or_else(|| CostModel::preset(params.workload));
+        let root = SimRng::seed_from_u64(params.seed);
+        let mut executors = ExecutorManager::new(params.cluster.clone(), params.launch_delay);
+        executors.bootstrap(initial.num_executors);
+        let broker = Broker::new(BrokerConfig {
+            partitions: params.partitions,
+            max_consume_rate: None,
+        });
+        let noise = NoiseModel::new(params.noise, params.cluster.nodes.len(), root.fork(1));
+        let job_rng = root.fork(2);
+        let next_cut = SimTime::ZERO + initial.batch_interval;
+        StreamingEngine {
+            params,
+            cost,
+            clock: SimTime::ZERO,
+            current_interval: initial.batch_interval,
+            target_executors: initial.num_executors,
+            executors,
+            broker,
+            generator: StreamGenerator::new(rate),
+            noise,
+            job_rng,
+            queue: BatchQueue::new(),
+            running: None,
+            next_cut,
+            last_cut: SimTime::ZERO,
+            arrived_since_cut: 0,
+            listener: Listener::new(),
+            drained: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The configuration currently in force (interval = the one the next
+    /// batch will be cut with).
+    pub fn config(&self) -> StreamConfig {
+        StreamConfig::new(self.current_interval, self.target_executors.max(1))
+    }
+
+    /// Apply a configuration at runtime. The interval re-arms the divider
+    /// from the next cut; executor changes start launching/retiring now.
+    pub fn apply_config(&mut self, cfg: StreamConfig) {
+        self.current_interval = cfg.batch_interval;
+        // Re-arm the divider: the pending cut moves to the new cadence,
+        // but never earlier than now (and never rewinds).
+        let candidate = self.clock + cfg.batch_interval;
+        if candidate < self.next_cut {
+            self.next_cut = candidate;
+        }
+        self.target_executors = cfg.num_executors;
+        self.executors.set_target(cfg.num_executors, self.clock);
+    }
+
+    /// Set or clear the back-pressure ingestion limit (records/second) —
+    /// the knob Spark's `PIDRateEstimator` writes.
+    pub fn set_rate_limit(&mut self, limit: Option<f64>) {
+        self.broker.set_max_consume_rate(limit);
+    }
+
+    /// The listener retaining all completed-batch metrics.
+    pub fn listener(&self) -> &Listener {
+        &self.listener
+    }
+
+    /// Batches waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Broker lag (records ingested but not yet pulled into a batch).
+    pub fn broker_lag(&self) -> u64 {
+        self.broker.total_lag()
+    }
+
+    /// The rate process's instantaneous rate at the current clock.
+    pub fn current_input_rate(&mut self) -> f64 {
+        let t = self.clock;
+        self.generator.rate_at(t)
+    }
+
+    /// Advance simulation until `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while self.next_event_time() <= t {
+            self.step();
+        }
+        // Bring production (but not batching) up to date.
+        self.clock = self.clock.max(t.min(self.next_event_time()));
+    }
+
+    /// Advance until `n` more batches complete.
+    pub fn run_batches(&mut self, n: u64) {
+        let target = self.listener.completed() + n;
+        while self.listener.completed() < target {
+            self.step();
+        }
+    }
+
+    /// Completed-batch metrics not yet drained by the caller.
+    pub fn drain_completed(&mut self) -> Vec<BatchMetrics> {
+        let new = self.listener.history()[self.drained..].to_vec();
+        self.drained = self.listener.history().len();
+        new
+    }
+
+    fn next_event_time(&self) -> SimTime {
+        match &self.running {
+            Some(job) => self.next_cut.min(job.finishes_at),
+            None => self.next_cut,
+        }
+    }
+
+    /// Process exactly one event (batch cut or job completion).
+    fn step(&mut self) {
+        let cut = self.next_cut;
+        let finish = self.running.map(|j| j.finishes_at).unwrap_or(SimTime::MAX);
+        if finish <= cut {
+            self.on_job_finish();
+        } else {
+            self.on_batch_cut();
+        }
+    }
+
+    fn on_batch_cut(&mut self) {
+        let t = self.next_cut;
+        self.clock = t;
+        // Receivers ingest everything produced up to the cut.
+        self.arrived_since_cut += self.generator.advance_to(t, &mut self.broker);
+        // When the batch queue is saturated the divider blocks: no batch is
+        // cut, the data stays in the broker, and the next successful cut
+        // absorbs it as a catch-up batch.
+        if self.queue.len() < self.params.max_queued_batches {
+            let ingest_window = t.saturating_since(self.last_cut);
+            let records = if self.broker.max_consume_rate().is_some() {
+                // Back pressure in force: the PID's limit governs.
+                self.broker.consume_window(ingest_window.as_secs_f64())
+            } else {
+                // Bound catch-up batches at a multiple of the nominal
+                // interval's data (the maxRatePerPartition guard).
+                let nominal = self.generator.current_rate() * self.current_interval.as_secs_f64();
+                let cap = (nominal * self.params.max_catchup_factor).max(1_000.0) as u64;
+                self.broker.consume_exact(cap)
+            };
+            self.queue.push(
+                records,
+                self.arrived_since_cut,
+                t,
+                self.current_interval,
+                ingest_window,
+            );
+            self.arrived_since_cut = 0;
+            self.last_cut = t;
+        }
+        self.next_cut = t + self.current_interval;
+        if self.running.is_none() {
+            self.try_start_job();
+        }
+    }
+
+    fn on_job_finish(&mut self) {
+        let job = self.running.take().expect("a job was running");
+        self.clock = job.finishes_at;
+        self.listener.on_batch_completed(BatchMetrics {
+            batch_id: job.batch.id,
+            records: job.batch.records,
+            submitted_at: job.batch.cut_at,
+            started_at: job.started_at,
+            completed_at: job.finishes_at,
+            interval: job.batch.interval,
+            ingest_window: job.batch.ingest_window,
+            arrived: job.batch.arrived,
+            num_executors: job.executors,
+            stages: job.stages,
+            busy_cores: job.busy_cores,
+            queue_len: self.queue.len() as u32,
+        });
+        self.try_start_job();
+    }
+
+    fn try_start_job(&mut self) {
+        debug_assert!(self.running.is_none());
+        let Some(batch) = self.queue.pop() else {
+            return;
+        };
+        let start = self.clock;
+        let stages = self.cost.sample_stages(&mut self.job_rng);
+        let executors = self.executors.executors_mut();
+        let result = simulate_job(
+            &self.cost,
+            batch.records,
+            batch.interval,
+            self.params.block_interval,
+            start,
+            executors,
+            self.params.executor_init,
+            &mut self.noise,
+            stages,
+            self.params.speculation,
+        );
+        self.running = Some(RunningJob {
+            batch,
+            started_at: start,
+            finishes_at: result.finished_at,
+            executors: executors.len() as u32,
+            stages: result.stages,
+            busy_cores: SimDuration::from_micros(result.busy_core_us),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nostop_datagen::rate::ConstantRate;
+
+    fn engine(rate: f64, interval_s: f64, executors: u32, seed: u64) -> StreamingEngine {
+        let mut params = EngineParams::paper(WorkloadKind::LogisticRegression, seed);
+        params.noise = NoiseParams::disabled();
+        StreamingEngine::new(
+            params,
+            StreamConfig::new(SimDuration::from_secs_f64(interval_s), executors),
+            Box::new(ConstantRate::new(rate)),
+        )
+    }
+
+    #[test]
+    fn batches_complete_at_interval_cadence_when_stable() {
+        let mut e = engine(10_000.0, 15.0, 18, 1);
+        e.run_batches(10);
+        let h = e.listener().history();
+        assert_eq!(h.len(), 10);
+        // Submissions are one interval apart.
+        for pair in h.windows(2) {
+            let gap = pair[1].submitted_at - pair[0].submitted_at;
+            assert_eq!(gap, SimDuration::from_secs(15));
+        }
+        // Stable: little to no scheduling delay after warmup.
+        assert!(h[9].scheduling_delay() < SimDuration::from_secs(2));
+        assert!(e.listener().stable_fraction() > 0.8);
+    }
+
+    #[test]
+    fn records_per_batch_match_rate_times_interval() {
+        let mut e = engine(10_000.0, 10.0, 18, 2);
+        e.run_batches(5);
+        for m in e.listener().history() {
+            // Exact modulo fractional carries across partitions.
+            assert!(
+                (m.records as i64 - 100_000).unsigned_abs() <= 64,
+                "records {}",
+                m.records
+            );
+        }
+    }
+
+    #[test]
+    fn undersized_interval_builds_queue_and_schedule_delay() {
+        // 3 s interval for a workload whose fixed overhead alone exceeds
+        // that: queue must grow and scheduling delay must climb — the
+        // §3.1 unstable regime.
+        let mut e = engine(10_000.0, 3.0, 10, 3);
+        e.run_batches(20);
+        let h = e.listener().history();
+        let early = h[2].scheduling_delay().as_secs_f64();
+        let late = h[19].scheduling_delay().as_secs_f64();
+        assert!(
+            late > early + 5.0,
+            "delay must accumulate: {early} -> {late}"
+        );
+        assert!(e.queue_len() > 0);
+        assert!(e.listener().stable_fraction() < 0.2);
+    }
+
+    #[test]
+    fn interval_change_takes_effect_at_next_cut() {
+        let mut e = engine(10_000.0, 10.0, 18, 4);
+        e.run_batches(3);
+        e.apply_config(StreamConfig::new(SimDuration::from_secs(20), 18));
+        e.run_batches(4);
+        let h = e.listener().history();
+        let last = &h[h.len() - 1];
+        assert_eq!(last.interval, SimDuration::from_secs(20));
+        assert!(
+            (last.records as i64 - 200_000).unsigned_abs() <= 64,
+            "twice the records per batch: {}",
+            last.records
+        );
+    }
+
+    #[test]
+    fn executor_scale_up_improves_processing_time() {
+        let mut slow = engine(10_000.0, 12.0, 6, 5);
+        slow.run_batches(8);
+        let before = slow
+            .listener()
+            .recent(3)
+            .iter()
+            .map(|m| m.processing_time().as_secs_f64())
+            .sum::<f64>()
+            / 3.0;
+        slow.apply_config(StreamConfig::new(SimDuration::from_secs(12), 20));
+        slow.run_batches(8);
+        let after = slow
+            .listener()
+            .recent(3)
+            .iter()
+            .map(|m| m.processing_time().as_secs_f64())
+            .sum::<f64>()
+            / 3.0;
+        assert!(after < before, "{before} -> {after}");
+    }
+
+    #[test]
+    fn first_batch_after_scale_up_is_slower_than_settled_ones() {
+        // The §5.4 skip-first rule exists because of this effect. Use
+        // WordCount: its fixed two-stage flow makes single batches
+        // comparable (LR's sampled iteration count would drown the signal).
+        let mut params = EngineParams::paper(WorkloadKind::WordCount, 6);
+        params.noise = NoiseParams::disabled();
+        let mut e = StreamingEngine::new(
+            params,
+            StreamConfig::new(SimDuration::from_secs(15), 10),
+            Box::new(ConstantRate::new(100_000.0)),
+        );
+        e.run_batches(5);
+        e.apply_config(StreamConfig::new(SimDuration::from_secs(15), 20));
+        e.run_batches(5);
+        let h = e.listener().history();
+        // The first batch that actually ran on the enlarged executor set
+        // pays jar shipping; batches after it are settled.
+        let first_at_20 = h
+            .iter()
+            .position(|m| m.num_executors == 20)
+            .expect("scale-up must reach a batch");
+        let first_after = h[first_at_20].processing_time().as_secs_f64();
+        let settled = h[first_at_20 + 2].processing_time().as_secs_f64();
+        assert!(
+            first_after > settled,
+            "jar shipping visible: {first_after} vs {settled}"
+        );
+    }
+
+    #[test]
+    fn rate_limit_caps_batch_size() {
+        let mut e = engine(50_000.0, 10.0, 18, 7);
+        e.set_rate_limit(Some(10_000.0));
+        e.run_batches(5);
+        for m in e.listener().history().iter().skip(1) {
+            assert!(
+                m.records <= 101_000,
+                "capped at ~10k/s × 10s: {}",
+                m.records
+            );
+        }
+        assert!(e.broker_lag() > 0, "unconsumed records pile up in broker");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = |seed: u64| {
+            let mut e = engine(10_000.0, 10.0, 12, seed);
+            e.run_batches(10);
+            e.listener()
+                .history()
+                .iter()
+                .map(|m| (m.records, m.completed_at.as_micros()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn drain_completed_is_incremental() {
+        let mut e = engine(10_000.0, 10.0, 18, 8);
+        e.run_batches(3);
+        assert_eq!(e.drain_completed().len(), 3);
+        assert_eq!(e.drain_completed().len(), 0);
+        e.run_batches(2);
+        assert_eq!(e.drain_completed().len(), 2);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut e = engine(10_000.0, 10.0, 18, 9);
+        e.run_until(SimTime::from_secs_f64(65.0));
+        // 6 cuts happen by t=60; the 6th batch may still be processing.
+        let done = e.listener().completed();
+        assert!((4..=6).contains(&done), "completed {done}");
+        assert!(e.now() <= SimTime::from_secs_f64(66.0));
+    }
+
+    #[test]
+    fn oversized_intervals_leave_the_engine_idle() {
+        // §3.1: with Batch Interval ≫ Batch Processing Time "computing
+        // resources are underutilized and Spark engine would sit idle
+        // waiting for batches to arrive".
+        let idle_at = |interval: f64| {
+            let mut e = engine(10_000.0, interval, 18, 11);
+            e.run_batches(6);
+            e.listener()
+                .recent(4)
+                .iter()
+                .map(|m| m.engine_idle_fraction())
+                .sum::<f64>()
+                / 4.0
+        };
+        let near_frontier = idle_at(11.0);
+        let oversized = idle_at(35.0);
+        assert!(
+            oversized > near_frontier + 0.2,
+            "idle time grows with the interval: {near_frontier} vs {oversized}"
+        );
+    }
+
+    #[test]
+    fn fig2_crossover_emerges_from_the_engine() {
+        // Streaming LR at 10k rec/s on the ten-node testbed: unstable at a
+        // 5 s interval, stable at 14 s (Fig. 2's crossover ≈ 10 s).
+        let time_at = |interval: f64| {
+            let mut params = EngineParams::testbed(WorkloadKind::LogisticRegression, 10);
+            params.noise = NoiseParams::disabled();
+            let mut e = StreamingEngine::new(
+                params,
+                StreamConfig::new(SimDuration::from_secs_f64(interval), 10),
+                Box::new(ConstantRate::new(10_000.0)),
+            );
+            e.run_batches(6);
+            e.listener()
+                .recent(3)
+                .iter()
+                .map(|m| m.processing_time().as_secs_f64())
+                .sum::<f64>()
+                / 3.0
+        };
+        let p5 = time_at(5.0);
+        let p14 = time_at(14.0);
+        assert!(p5 > 5.0, "unstable below crossover: {p5}");
+        assert!(p14 < 14.0, "stable above crossover: {p14}");
+    }
+}

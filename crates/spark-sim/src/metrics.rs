@@ -1,0 +1,291 @@
+//! The streaming listener: per-batch metrics and status reporting.
+//!
+//! Mirrors Spark's `StreamingListener.onBatchCompleted`: every completed
+//! batch yields a [`BatchMetrics`] with submission/start/completion times,
+//! from which scheduling delay, processing time, and total delay derive the
+//! same way Spark's UI computes them. [`Listener`] retains the history, and
+//! converts to the JSON [`StatusReport`] wire format of Fig. 4 and to the
+//! controller's [`BatchObservation`].
+
+use nostop_core::listener::StatusReport;
+use nostop_core::system::BatchObservation;
+use nostop_simcore::stats::Summary;
+use nostop_simcore::{SimDuration, SimTime, Welford};
+use serde::{Deserialize, Serialize};
+
+/// Metrics for one completed batch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchMetrics {
+    /// Batch sequence number.
+    pub batch_id: u64,
+    /// Records processed.
+    pub records: u64,
+    /// When the divider cut the batch (submission).
+    pub submitted_at: SimTime,
+    /// When its job started processing.
+    pub started_at: SimTime,
+    /// When its job finished.
+    pub completed_at: SimTime,
+    /// The batch interval this batch was cut with.
+    pub interval: SimDuration,
+    /// Actual receiver ingest window for this batch.
+    pub ingest_window: SimDuration,
+    /// Records that arrived at the broker during the ingest window.
+    pub arrived: u64,
+    /// Executors live when the job started.
+    pub num_executors: u32,
+    /// Stages the job ran.
+    pub stages: u32,
+    /// Total executor-busy time across the job's tasks.
+    pub busy_cores: SimDuration,
+    /// Batches left waiting in the queue when this one completed.
+    pub queue_len: u32,
+}
+
+impl BatchMetrics {
+    /// Queue wait before processing began.
+    pub fn scheduling_delay(&self) -> SimDuration {
+        self.started_at.saturating_since(self.submitted_at)
+    }
+
+    /// Processing time (Spark UI's "Processing Time").
+    pub fn processing_time(&self) -> SimDuration {
+        self.completed_at.saturating_since(self.started_at)
+    }
+
+    /// Total delay = scheduling delay + processing time (Spark UI's
+    /// "Total Delay").
+    pub fn total_delay(&self) -> SimDuration {
+        self.completed_at.saturating_since(self.submitted_at)
+    }
+
+    /// Stability per Eq. 2: processing time within the batch interval.
+    pub fn is_stable(&self) -> bool {
+        self.processing_time() <= self.interval
+    }
+
+    /// Executor utilization over the batch interval: busy core-time
+    /// divided by `executors × interval`. Near-constant for a fixed rate
+    /// (longer intervals carry proportionally more data); dips when fixed
+    /// overheads dominate tiny batches.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.num_executors as f64 * self.interval.as_secs_f64();
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        (self.busy_cores.as_secs_f64() / capacity).min(1.0)
+    }
+
+    /// Fraction of each interval the engine spends idle, waiting for the
+    /// next batch: `1 − processing/interval` (0 when congested). §3.1's
+    /// over-provisioned regime — "Spark engine would sit idle waiting for
+    /// batches to arrive" — is exactly a large value here.
+    pub fn engine_idle_fraction(&self) -> f64 {
+        let i = self.interval.as_secs_f64();
+        if i <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.processing_time().as_secs_f64() / i).max(0.0)
+    }
+
+    /// Observed ingest rate, records/second, over the actual ingest window.
+    pub fn input_rate(&self) -> f64 {
+        let secs = self.ingest_window.as_secs_f64();
+        let secs = if secs > 0.0 {
+            secs
+        } else {
+            self.interval.as_secs_f64()
+        };
+        if secs > 0.0 {
+            self.arrived as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Convert to the controller's observation type.
+    pub fn to_observation(&self) -> BatchObservation {
+        BatchObservation {
+            completed_at_s: self.completed_at.as_secs_f64(),
+            interval_s: self.interval.as_secs_f64(),
+            processing_s: self.processing_time().as_secs_f64(),
+            scheduling_delay_s: self.scheduling_delay().as_secs_f64(),
+            records: self.records,
+            input_rate: self.input_rate(),
+            num_executors: self.num_executors,
+            queued_batches: self.queue_len,
+        }
+    }
+
+    /// Convert to the JSON wire format of Fig. 4.
+    pub fn to_status_report(&self) -> StatusReport {
+        StatusReport {
+            batch_id: self.batch_id,
+            submission_time_ms: self.submitted_at.as_micros() / 1_000,
+            processing_start_time_ms: self.started_at.as_micros() / 1_000,
+            processing_end_time_ms: self.completed_at.as_micros() / 1_000,
+            num_records: self.records,
+            arrived_records: self.arrived,
+            batch_interval_ms: self.interval.as_millis(),
+            ingest_window_ms: self.ingest_window.as_millis(),
+            num_executors: self.num_executors,
+            queued_batches: self.queue_len,
+        }
+    }
+}
+
+/// Retains completed-batch history and aggregates.
+#[derive(Debug, Clone, Default)]
+pub struct Listener {
+    history: Vec<BatchMetrics>,
+    processing: Welford,
+    scheduling: Welford,
+}
+
+impl Listener {
+    /// An empty listener.
+    pub fn new() -> Self {
+        Listener::default()
+    }
+
+    /// Record a completed batch.
+    pub fn on_batch_completed(&mut self, m: BatchMetrics) {
+        self.processing.push(m.processing_time().as_secs_f64());
+        self.scheduling.push(m.scheduling_delay().as_secs_f64());
+        self.history.push(m);
+    }
+
+    /// All completed batches, in completion order.
+    pub fn history(&self) -> &[BatchMetrics] {
+        &self.history
+    }
+
+    /// Completed batch count.
+    pub fn completed(&self) -> u64 {
+        self.history.len() as u64
+    }
+
+    /// The `n` most recent batches.
+    pub fn recent(&self, n: usize) -> &[BatchMetrics] {
+        let start = self.history.len().saturating_sub(n);
+        &self.history[start..]
+    }
+
+    /// The most recent batch, if any.
+    pub fn last(&self) -> Option<&BatchMetrics> {
+        self.history.last()
+    }
+
+    /// Whole-run processing-time summary (seconds).
+    pub fn processing_summary(&self) -> Summary {
+        self.processing.summary()
+    }
+
+    /// Whole-run scheduling-delay summary (seconds).
+    pub fn scheduling_summary(&self) -> Summary {
+        self.scheduling.summary()
+    }
+
+    /// Fraction of completed batches that met the stability constraint.
+    pub fn stable_fraction(&self) -> f64 {
+        if self.history.is_empty() {
+            return 1.0;
+        }
+        self.history.iter().filter(|m| m.is_stable()).count() as f64 / self.history.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(sub: f64, start: f64, end: f64, interval: f64) -> BatchMetrics {
+        BatchMetrics {
+            batch_id: 1,
+            records: 10_000,
+            submitted_at: SimTime::from_secs_f64(sub),
+            started_at: SimTime::from_secs_f64(start),
+            completed_at: SimTime::from_secs_f64(end),
+            interval: SimDuration::from_secs_f64(interval),
+            ingest_window: SimDuration::from_secs_f64(interval),
+            arrived: 10_000,
+            busy_cores: SimDuration::from_secs_f64(4.0 * (end - start)),
+            num_executors: 8,
+            stages: 2,
+            queue_len: 0,
+        }
+    }
+
+    #[test]
+    fn delay_decomposition_matches_spark_ui() {
+        let m = metrics(100.0, 103.0, 111.0, 10.0);
+        assert_eq!(m.scheduling_delay().as_secs_f64(), 3.0);
+        assert_eq!(m.processing_time().as_secs_f64(), 8.0);
+        assert_eq!(m.total_delay().as_secs_f64(), 11.0);
+        assert!(m.is_stable());
+        assert_eq!(m.input_rate(), 1_000.0);
+    }
+
+    #[test]
+    fn instability_detected() {
+        let m = metrics(100.0, 100.0, 112.0, 10.0);
+        assert!(!m.is_stable());
+    }
+
+    #[test]
+    fn observation_conversion() {
+        let o = metrics(100.0, 103.0, 111.0, 10.0).to_observation();
+        assert_eq!(o.processing_s, 8.0);
+        assert_eq!(o.scheduling_delay_s, 3.0);
+        assert_eq!(o.end_to_end_s(), 10.0 + 3.0 + 8.0);
+    }
+
+    #[test]
+    fn status_report_round_trips_through_json() {
+        let r = metrics(100.0, 103.0, 111.0, 10.0).to_status_report();
+        let json = r.to_json();
+        let back = StatusReport::from_json(&json).unwrap();
+        assert_eq!(back, r);
+        let o = back.to_observation();
+        assert!((o.processing_s - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_reflects_idle_capacity() {
+        // 8 executors, 10 s interval: capacity 80 core-seconds. A job
+        // keeping cores busy for 32 core-seconds utilizes 40%.
+        let m = metrics(100.0, 100.0, 108.0, 10.0);
+        assert!((m.utilization() - 32.0 / 80.0).abs() < 1e-9);
+        // Utilization is capped at 1 even for congested accounting.
+        let mut over = metrics(0.0, 0.0, 100.0, 1.0);
+        over.busy_cores = SimDuration::from_secs(1_000);
+        assert_eq!(over.utilization(), 1.0);
+        // Idle fraction: 8 s of processing inside a 10 s interval.
+        let m = metrics(100.0, 100.0, 108.0, 10.0);
+        assert!((m.engine_idle_fraction() - 0.2).abs() < 1e-9);
+        // Congested batches are never "idle".
+        assert_eq!(metrics(0.0, 0.0, 100.0, 1.0).engine_idle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn listener_aggregates() {
+        let mut l = Listener::new();
+        l.on_batch_completed(metrics(0.0, 0.0, 8.0, 10.0));
+        l.on_batch_completed(metrics(10.0, 10.0, 16.0, 10.0));
+        l.on_batch_completed(metrics(20.0, 20.0, 32.0, 10.0)); // unstable
+        assert_eq!(l.completed(), 3);
+        assert_eq!(l.recent(2).len(), 2);
+        assert_eq!(l.last().unwrap().batch_id, 1);
+        assert!((l.processing_summary().mean - (8.0 + 6.0 + 12.0) / 3.0).abs() < 1e-9);
+        assert!((l.stable_fraction() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_listener_is_safe() {
+        let l = Listener::new();
+        assert_eq!(l.completed(), 0);
+        assert!(l.last().is_none());
+        assert_eq!(l.stable_fraction(), 1.0);
+        assert_eq!(l.recent(5).len(), 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! The stochastic environment.
+//!
+//! §4.1: "randomness exists in the dynamics of streaming data processing in
+//! distributed environments, including network jitters, resource
+//! contentions, etc." — NoStop's noise tolerance is a headline design goal,
+//! so the simulator must inject realistic noise. Two mechanisms:
+//!
+//! * **per-task multiplicative noise** — a unit-mean log-normal factor on
+//!   every task duration, with per-workload sigma (the cost model's
+//!   `noise_sigma`);
+//! * **node contention windows** — each node independently suffers Poisson-
+//!   arriving slowdown episodes (a co-tenant process, a GC storm) during
+//!   which its tasks run at a fraction of normal speed.
+
+use nostop_simcore::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Noise model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseParams {
+    /// Master switch; `false` makes the simulator deterministic apart from
+    /// workload iteration sampling.
+    pub enabled: bool,
+    /// Mean gap between contention episodes per node, seconds.
+    pub contention_mean_gap_s: f64,
+    /// Duration of one contention episode, seconds.
+    pub contention_duration_s: f64,
+    /// Speed multiplier while contended (e.g. 0.6 = 40% slower).
+    pub contention_slowdown: f64,
+    /// Override the workload's per-task log-normal sigma (`None` = use the
+    /// cost model's).
+    pub task_sigma_override: Option<f64>,
+}
+
+impl Default for NoiseParams {
+    fn default() -> Self {
+        NoiseParams {
+            enabled: true,
+            contention_mean_gap_s: 120.0,
+            contention_duration_s: 8.0,
+            contention_slowdown: 0.6,
+            task_sigma_override: None,
+        }
+    }
+}
+
+impl NoiseParams {
+    /// No noise at all — for calibration and deterministic tests.
+    pub fn disabled() -> Self {
+        NoiseParams {
+            enabled: false,
+            ..NoiseParams::default()
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeContention {
+    busy_until: SimTime,
+    next_onset: SimTime,
+}
+
+/// Stateful noise source. One per engine; forks its own RNG streams.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    params: NoiseParams,
+    nodes: Vec<NodeContention>,
+    rng: SimRng,
+}
+
+impl NoiseModel {
+    /// A model for `node_count` nodes.
+    pub fn new(params: NoiseParams, node_count: usize, rng: SimRng) -> Self {
+        let mut model = NoiseModel {
+            params,
+            nodes: Vec::with_capacity(node_count),
+            rng,
+        };
+        for _ in 0..node_count {
+            let onset = if params.enabled {
+                model.rng.exponential(1.0 / params.contention_mean_gap_s)
+            } else {
+                f64::INFINITY
+            };
+            model.nodes.push(NodeContention {
+                busy_until: SimTime::ZERO,
+                next_onset: if onset.is_finite() {
+                    SimTime::from_secs_f64(onset)
+                } else {
+                    SimTime::MAX
+                },
+            });
+        }
+        model
+    }
+
+    /// The speed factor for a task starting on `node` at instant `t`
+    /// (1.0 = unimpeded, `contention_slowdown` during an episode).
+    pub fn contention_factor(&mut self, node: usize, t: SimTime) -> f64 {
+        if !self.params.enabled {
+            return 1.0;
+        }
+        let gap = self.params.contention_mean_gap_s;
+        let dur = self.params.contention_duration_s;
+        let state = &mut self.nodes[node];
+        // Advance the episode process past `t`.
+        while state.next_onset <= t {
+            state.busy_until = state.next_onset + SimDuration::from_secs_f64(dur);
+            let next_gap = self.rng.exponential(1.0 / gap);
+            state.next_onset = state.busy_until + SimDuration::from_secs_f64(next_gap);
+        }
+        if t < state.busy_until {
+            self.params.contention_slowdown
+        } else {
+            1.0
+        }
+    }
+
+    /// The multiplicative duration factor for one task: unit-mean
+    /// log-normal with the given sigma (or the override).
+    pub fn task_factor(&mut self, sigma: f64) -> f64 {
+        if !self.params.enabled {
+            return 1.0;
+        }
+        let s = self.params.task_sigma_override.unwrap_or(sigma);
+        self.rng.noise_factor(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_noise_is_identity() {
+        let mut m = NoiseModel::new(NoiseParams::disabled(), 3, SimRng::seed_from_u64(1));
+        for i in 0..3 {
+            assert_eq!(m.contention_factor(i, SimTime::from_secs_f64(1e6)), 1.0);
+        }
+        assert_eq!(m.task_factor(0.5), 1.0);
+    }
+
+    #[test]
+    fn contention_happens_at_expected_duty_cycle() {
+        let params = NoiseParams {
+            enabled: true,
+            contention_mean_gap_s: 90.0,
+            contention_duration_s: 10.0,
+            contention_slowdown: 0.5,
+            task_sigma_override: None,
+        };
+        let mut m = NoiseModel::new(params, 1, SimRng::seed_from_u64(2));
+        let mut contended = 0;
+        let n = 100_000;
+        for i in 0..n {
+            if m.contention_factor(0, SimTime::from_secs_f64(i as f64)) < 1.0 {
+                contended += 1;
+            }
+        }
+        // Duty cycle = 10 / (90 + 10) = 10%; loose bounds.
+        let frac = contended as f64 / n as f64;
+        assert!((0.05..0.2).contains(&frac), "duty cycle {frac}");
+    }
+
+    #[test]
+    fn nodes_are_independent() {
+        let mut m = NoiseModel::new(NoiseParams::default(), 2, SimRng::seed_from_u64(3));
+        let mut same = 0;
+        let mut total = 0;
+        for i in 0..20_000 {
+            let t = SimTime::from_secs_f64(i as f64);
+            let a = m.contention_factor(0, t) < 1.0;
+            let b = m.contention_factor(1, t) < 1.0;
+            if a {
+                total += 1;
+                if b {
+                    same += 1;
+                }
+            }
+        }
+        // If episodes were correlated, same/total would approach 1.
+        assert!(total > 0);
+        assert!((same as f64 / total as f64) < 0.5, "{same}/{total}");
+    }
+
+    #[test]
+    fn task_factor_sigma_override() {
+        let params = NoiseParams {
+            task_sigma_override: Some(0.0),
+            ..NoiseParams::default()
+        };
+        let mut m = NoiseModel::new(params, 1, SimRng::seed_from_u64(4));
+        // Sigma forced to zero: factor exactly 1.
+        for _ in 0..100 {
+            assert_eq!(m.task_factor(0.9), 1.0);
+        }
+    }
+
+    #[test]
+    fn task_factor_is_unit_mean() {
+        let mut m = NoiseModel::new(NoiseParams::default(), 1, SimRng::seed_from_u64(5));
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| m.task_factor(0.2)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+}

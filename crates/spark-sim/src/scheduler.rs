@@ -1,0 +1,510 @@
+//! Per-job stage/task scheduling.
+//!
+//! Each batch becomes one Spark job. The job runs a sequence of stages —
+//! ML workloads run one stage per SGD iteration (a *sampled* count: the
+//! source of their batch-time variability, §6.3), WordCount a map/reduce
+//! pair, Log Analyze its four-stage pipeline. A stage splits the batch into
+//! tasks — one per block, where the block count is
+//! `batch interval / block interval` (Spark's 200 ms default) — and the
+//! tasks are greedily list-scheduled onto executor slots. Task *waves*
+//! (`⌈tasks / executors⌉`), heterogeneity (per-node speed), disk class
+//! (shuffle/sink I/O), contention windows, stragglers, and the U-shaped
+//! executor-count effect of Fig. 3 all emerge from this model rather than
+//! being postulated.
+
+use crate::executor::Executor;
+use crate::noise::NoiseModel;
+use nostop_simcore::{SimDuration, SimTime};
+use nostop_workloads::CostModel;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The outcome of simulating one job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobResult {
+    /// When the job finished (all stages complete).
+    pub finished_at: SimTime,
+    /// Stages the job ran (= sampled iteration count for ML workloads).
+    pub stages: u32,
+    /// Tasks per stage.
+    pub tasks_per_stage: u32,
+    /// Total executor-busy time across all tasks, µs — the numerator of
+    /// the §3.1 resource-utilization story.
+    pub busy_core_us: u64,
+}
+
+/// Slot state during list scheduling: `(available_at_us, executor index)`.
+/// Ordered so the earliest-available (ties: lowest index) slot pops first —
+/// deterministic regardless of heap internals.
+type Slot = Reverse<(u64, usize)>;
+
+/// Speculative-execution policy (Spark's `spark.speculation`).
+///
+/// When a task runs longer than `multiplier` × the stage's median task
+/// duration, a speculative copy is launched on an idle executor; whichever
+/// finishes first wins. Modeled as capping straggler durations at
+/// `multiplier × median + relaunch overhead` and re-running the stage's
+/// list schedule — the straggler's slot frees correspondingly earlier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Speculation {
+    /// Straggler threshold as a multiple of the stage median (Spark's
+    /// `spark.speculation.multiplier`, default 1.5).
+    pub multiplier: f64,
+    /// Overhead of launching the speculative copy, µs.
+    pub relaunch_us: f64,
+    /// Minimum tasks in a stage before speculation engages (medians over
+    /// tiny stages are meaningless).
+    pub min_tasks: usize,
+}
+
+impl Default for Speculation {
+    fn default() -> Self {
+        Speculation {
+            multiplier: 1.5,
+            relaunch_us: 50_000.0,
+            min_tasks: 5,
+        }
+    }
+}
+
+/// Simulate one job over `records` records starting at `start`.
+///
+/// `executors` is the live set (launching ones join when ready); `fresh`
+/// executors pay `executor_init` before their first slot and their flag is
+/// cleared. Panics if `executors` is empty — the engine guarantees at
+/// least one.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_job(
+    cost: &CostModel,
+    records: u64,
+    interval: SimDuration,
+    block_interval: SimDuration,
+    start: SimTime,
+    executors: &mut [Executor],
+    executor_init: SimDuration,
+    noise: &mut NoiseModel,
+    stages: u32,
+    speculation: Option<Speculation>,
+) -> JobResult {
+    assert!(!executors.is_empty(), "job needs at least one executor");
+    let tasks_per_stage =
+        ((interval.as_micros() / block_interval.as_micros().max(1)).max(1)) as u32;
+
+    // Driver-side serial costs: job submission plus per-executor
+    // management bookkeeping (the Fig-3 right arm).
+    let serial_us = cost.batch_overhead_us + cost.mgmt_per_executor_us * executors.len() as f64;
+    let mut t_us = start.as_micros() + serial_us.round() as u64;
+
+    // Per-executor one-time initialization (jar shipping) for fresh ones.
+    let mut extra_init: Vec<u64> = executors
+        .iter()
+        .map(|e| {
+            if e.fresh {
+                executor_init.as_micros()
+            } else {
+                0
+            }
+        })
+        .collect();
+    for e in executors.iter_mut() {
+        e.fresh = false;
+    }
+
+    // Spread records over tasks (remainder to the first tasks).
+    let base = records / tasks_per_stage as u64;
+    let rem = (records % tasks_per_stage as u64) as u32;
+    let mut busy_core_us: u64 = 0;
+
+    for stage in 0..stages {
+        let stage_start = t_us + cost.stage_overhead_us.round() as u64;
+        let slot_open =
+            |e: &Executor, init: u64| stage_start.max(e.ready_at.as_micros()).saturating_add(init);
+
+        // First pass: assign tasks greedily and record every duration.
+        let mut slots: BinaryHeap<Slot> = executors
+            .iter()
+            .enumerate()
+            .map(|(idx, e)| Reverse((slot_open(e, extra_init[idx]), idx)))
+            .collect();
+        let mut durations: Vec<u64> = Vec::with_capacity(tasks_per_stage as usize);
+        let mut stage_end = stage_start;
+        for task in 0..tasks_per_stage {
+            let Reverse((avail, idx)) = slots.pop().expect("slots never exhausted");
+            let e = &executors[idx];
+            let recs = base + if task < rem { 1 } else { 0 };
+
+            let mut work_us = cost.task_cpu_us(recs);
+            if stage + 1 == stages {
+                work_us += cost.sink_us(recs);
+            }
+            // CPU speed and contention scale compute time.
+            let speed = e.speed * noise.contention_factor(e.node, SimTime::from_micros(avail));
+            work_us /= speed.max(0.05);
+            // Stages after the first read shuffle output from the previous
+            // stage; charge it against this node's disk.
+            if stage > 0 {
+                let bytes = cost.shuffle_bytes(recs);
+                work_us += bytes / (e.disk.throughput_mb_s() * 1e6) * 1e6;
+            }
+            // Per-task stochastic jitter.
+            work_us *= noise.task_factor(cost.noise_sigma);
+
+            let dur = work_us.round().max(1.0) as u64;
+            durations.push(dur);
+            let done = avail + dur;
+            stage_end = stage_end.max(done);
+            slots.push(Reverse((done, idx)));
+        }
+
+        // Speculation pass: cap stragglers at multiplier × median +
+        // relaunch overhead and re-run the schedule with the capped
+        // durations (the speculative copy on an idle executor wins).
+        if let Some(spec) = speculation {
+            if durations.len() >= spec.min_tasks {
+                let mut sorted = durations.clone();
+                sorted.sort_unstable();
+                let median = sorted[sorted.len() / 2];
+                let cap = (median as f64 * spec.multiplier + spec.relaunch_us) as u64;
+                if durations.iter().any(|&d| d > cap) {
+                    for d in durations.iter_mut() {
+                        *d = (*d).min(cap);
+                    }
+                    let mut slots: BinaryHeap<Slot> = executors
+                        .iter()
+                        .enumerate()
+                        .map(|(idx, e)| Reverse((slot_open(e, extra_init[idx]), idx)))
+                        .collect();
+                    stage_end = stage_start;
+                    for &dur in &durations {
+                        let Reverse((avail, idx)) = slots.pop().expect("slots never exhausted");
+                        let done = avail + dur;
+                        stage_end = stage_end.max(done);
+                        slots.push(Reverse((done, idx)));
+                    }
+                }
+            }
+        }
+
+        busy_core_us += durations.iter().sum::<u64>();
+
+        // Init is paid once, at the first stage the executor joins.
+        for x in extra_init.iter_mut() {
+            *x = 0;
+        }
+        t_us = stage_end;
+    }
+
+    JobResult {
+        finished_at: SimTime::from_micros(t_us),
+        stages,
+        tasks_per_stage,
+        busy_core_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, DiskClass};
+    use crate::executor::ExecutorManager;
+    use crate::noise::NoiseParams;
+    use nostop_simcore::SimRng;
+    use nostop_workloads::WorkloadKind;
+
+    fn executors(n: u32) -> Vec<Executor> {
+        let mut m = ExecutorManager::new(
+            Cluster::homogeneous(4, 8, 1.0, DiskClass::Ssd),
+            SimDuration::from_secs(2),
+        );
+        m.bootstrap(n);
+        m.executors().to_vec()
+    }
+
+    fn quiet_noise() -> NoiseModel {
+        NoiseModel::new(NoiseParams::disabled(), 8, SimRng::seed_from_u64(0))
+    }
+
+    fn run(records: u64, interval_s: f64, execs: &mut [Executor], stages: u32) -> SimDuration {
+        let cost = CostModel::preset(WorkloadKind::LogisticRegression);
+        let start = SimTime::from_secs_f64(100.0);
+        let r = simulate_job(
+            &cost,
+            records,
+            SimDuration::from_secs_f64(interval_s),
+            SimDuration::from_millis(200),
+            start,
+            execs,
+            SimDuration::from_millis(1_500),
+            &mut quiet_noise(),
+            stages,
+            None,
+        );
+        r.finished_at - start
+    }
+
+    #[test]
+    fn processing_time_grows_with_records() {
+        let mut e = executors(10);
+        let small = run(10_000, 10.0, &mut e, 8);
+        let mut e = executors(10);
+        let large = run(200_000, 10.0, &mut e, 8);
+        assert!(large > small, "{large} vs {small}");
+    }
+
+    #[test]
+    fn tasks_follow_block_count() {
+        let cost = CostModel::preset(WorkloadKind::WordCount);
+        let mut e = executors(10);
+        let r = simulate_job(
+            &cost,
+            100_000,
+            SimDuration::from_secs(10),
+            SimDuration::from_millis(200),
+            SimTime::ZERO,
+            &mut e,
+            SimDuration::ZERO,
+            &mut quiet_noise(),
+            2,
+            None,
+        );
+        assert_eq!(r.tasks_per_stage, 50);
+        assert_eq!(r.stages, 2);
+    }
+
+    #[test]
+    fn more_executors_speed_up_until_overhead_wins() {
+        // The Fig-3 U-shape must emerge from list scheduling + management
+        // overhead (fixed 10 s interval, fixed records).
+        let time = |n: u32| {
+            let mut e = executors(n);
+            run(100_000, 10.0, &mut e, 8).as_secs_f64()
+        };
+        let t2 = time(2);
+        let t8 = time(8);
+        let t20 = time(20);
+        let t32 = time(32);
+        assert!(t2 > t8, "{t2} vs {t8}");
+        assert!(t8 > t20, "{t8} vs {t20}");
+        // At 32 executors the waves stop shrinking (50 tasks: 2 waves
+        // either way beyond 25) but management overhead keeps growing.
+        assert!(t32 > t20 * 0.95, "{t32} vs {t20}");
+    }
+
+    #[test]
+    fn fresh_executors_pay_init_once() {
+        let cost = CostModel::preset(WorkloadKind::WordCount);
+        let mk = || {
+            let mut m = ExecutorManager::new(
+                Cluster::homogeneous(4, 8, 1.0, DiskClass::Ssd),
+                SimDuration::ZERO,
+            );
+            m.bootstrap(8);
+            m.set_target(16, SimTime::ZERO); // 8 fresh ones
+            m.executors().to_vec()
+        };
+        let job = |execs: &mut Vec<Executor>| {
+            let start = SimTime::from_secs_f64(10.0);
+            simulate_job(
+                &cost,
+                100_000,
+                SimDuration::from_secs(10),
+                SimDuration::from_millis(200),
+                start,
+                execs,
+                SimDuration::from_secs(3),
+                &mut quiet_noise(),
+                2,
+                None,
+            )
+            .finished_at
+                - start
+        };
+        let mut fresh = mk();
+        let first = job(&mut fresh);
+        let second = job(&mut fresh); // init already paid
+        assert!(
+            first > second,
+            "first job pays jar shipping: {first} vs {second}"
+        );
+        assert!(fresh.iter().all(|e| !e.fresh));
+    }
+
+    #[test]
+    fn slower_nodes_stretch_the_stage() {
+        let cost = CostModel::preset(WorkloadKind::WordCount);
+        let mk = |speed: f64| {
+            let mut m = ExecutorManager::new(
+                Cluster::homogeneous(4, 8, speed, DiskClass::Ssd),
+                SimDuration::ZERO,
+            );
+            m.bootstrap(10);
+            m.executors().to_vec()
+        };
+        let time = |speed: f64| {
+            let mut e = mk(speed);
+            simulate_job(
+                &cost,
+                100_000,
+                SimDuration::from_secs(10),
+                SimDuration::from_millis(200),
+                SimTime::ZERO,
+                &mut e,
+                SimDuration::ZERO,
+                &mut quiet_noise(),
+                2,
+                None,
+            )
+            .finished_at
+            .as_secs_f64()
+        };
+        assert!(time(0.5) > time(1.0), "half-speed nodes take longer");
+    }
+
+    #[test]
+    fn hdd_pays_more_for_shuffle_stages() {
+        let cost = CostModel::preset(WorkloadKind::WordCount); // shuffle_frac 0.3
+        let time = |disk: DiskClass| {
+            let mut m =
+                ExecutorManager::new(Cluster::homogeneous(4, 8, 1.0, disk), SimDuration::ZERO);
+            m.bootstrap(10);
+            let mut e = m.executors().to_vec();
+            simulate_job(
+                &cost,
+                2_000_000,
+                SimDuration::from_secs(10),
+                SimDuration::from_millis(200),
+                SimTime::ZERO,
+                &mut e,
+                SimDuration::ZERO,
+                &mut quiet_noise(),
+                2,
+                None,
+            )
+            .finished_at
+            .as_secs_f64()
+        };
+        assert!(time(DiskClass::Hdd) > time(DiskClass::Ssd));
+    }
+
+    #[test]
+    fn zero_records_still_terminates_with_overheads() {
+        let mut e = executors(4);
+        let d = run(0, 10.0, &mut e, 8);
+        assert!(d > SimDuration::ZERO);
+        assert!(d < SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn deterministic_without_noise() {
+        let a = {
+            let mut e = executors(10);
+            run(123_456, 10.0, &mut e, 8)
+        };
+        let b = {
+            let mut e = executors(10);
+            run(123_456, 10.0, &mut e, 8)
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn speculation_rescues_stragglers_on_slow_nodes() {
+        // A heterogeneous cluster where some executors run at 30% speed:
+        // their tasks are stragglers; with speculation they are re-run on
+        // fast idle executors and the stage shortens.
+        let cost = CostModel::preset(WorkloadKind::WordCount);
+        let mk = || {
+            let mut nodes = Cluster::homogeneous(4, 8, 1.0, DiskClass::Ssd);
+            nodes.nodes[2].speed = 0.3; // one crippled worker
+            let mut m = ExecutorManager::new(nodes, SimDuration::ZERO);
+            m.bootstrap(16);
+            m.executors().to_vec()
+        };
+        // 3.2 s interval -> 16 tasks over 16 executors: a single wave, so
+        // the slow executors' tasks ARE the critical path. (With many
+        // waves the fast executors absorb extra tasks and stragglers do
+        // not set the stage end — speculation is correctly a no-op there.)
+        let run = |spec: Option<Speculation>| {
+            let mut e = mk();
+            simulate_job(
+                &cost,
+                1_000_000,
+                SimDuration::from_secs_f64(3.2),
+                SimDuration::from_millis(200),
+                SimTime::ZERO,
+                &mut e,
+                SimDuration::ZERO,
+                &mut quiet_noise(),
+                2,
+                spec,
+            )
+            .finished_at
+            .as_secs_f64()
+        };
+        let without = run(None);
+        let with = run(Some(Speculation::default()));
+        assert!(
+            with < without,
+            "speculation must shorten the straggling stage: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn speculation_is_a_noop_on_homogeneous_quiet_clusters() {
+        let cost = CostModel::preset(WorkloadKind::WordCount);
+        let run = |spec: Option<Speculation>| {
+            let mut e = executors(10);
+            simulate_job(
+                &cost,
+                500_000,
+                SimDuration::from_secs(10),
+                SimDuration::from_millis(200),
+                SimTime::ZERO,
+                &mut e,
+                SimDuration::ZERO,
+                &mut quiet_noise(),
+                2,
+                spec,
+            )
+            .finished_at
+        };
+        assert_eq!(run(None), run(Some(Speculation::default())));
+    }
+
+    #[test]
+    fn speculation_never_lengthens_a_job() {
+        // Across noisy seeds, the capped re-schedule can only improve.
+        let cost = CostModel::preset(WorkloadKind::LogisticRegression);
+        for seed in 0..10u64 {
+            let run = |spec: Option<Speculation>| {
+                let mut e = executors(12);
+                let mut noise =
+                    NoiseModel::new(NoiseParams::default(), 8, SimRng::seed_from_u64(seed));
+                simulate_job(
+                    &cost,
+                    100_000,
+                    SimDuration::from_secs(10),
+                    SimDuration::from_millis(200),
+                    SimTime::ZERO,
+                    &mut e,
+                    SimDuration::ZERO,
+                    &mut noise,
+                    8,
+                    spec,
+                )
+                .finished_at
+            };
+            assert!(
+                run(Some(Speculation::default())) <= run(None),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one executor")]
+    fn empty_executor_set_panics() {
+        let mut e: Vec<Executor> = vec![];
+        run(100, 10.0, &mut e, 2);
+    }
+}

@@ -1,0 +1,253 @@
+//! A threaded, message-passing deployment of the Fig-4 architecture.
+//!
+//! In the paper, NoStop is a process beside the cluster: the Spark
+//! Streaming listener POSTs JSON status reports, NoStop answers with
+//! configuration changes. Without JVM bindings, that external-controller
+//! topology is the only possible real-Spark integration (see DESIGN.md) —
+//! so this module proves the controller works over exactly such a
+//! boundary: the engine runs in its own thread, and *all* communication
+//! crosses crossbeam channels as JSON strings — the same bytes an HTTP
+//! deployment would carry.
+//!
+//! ```text
+//! controller thread                 engine thread
+//!   RemoteSystem  --- Command JSON -->  serve()
+//!                 <-- StatusReport JSON --
+//! ```
+
+use crate::config::StreamConfig;
+use crate::engine::StreamingEngine;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use nostop_core::listener::StatusReport;
+use nostop_core::system::{BatchObservation, StreamingSystem};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A live view of the engine's latest completed batch, shared with any
+/// number of observer threads — what a `/status` endpoint would serve.
+pub type StatusHandle = Arc<RwLock<Option<StatusReport>>>;
+
+/// Commands the controller side sends, serialized as JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "cmd", rename_all = "camelCase")]
+enum Command {
+    /// Apply a configuration (physical units).
+    ApplyConfig { physical: Vec<f64> },
+    /// Run until the next batch completes and reply with its report.
+    NextBatch,
+    /// Shut the engine thread down.
+    Shutdown,
+}
+
+/// The engine half: owns the engine, serves commands until shutdown.
+fn serve(
+    mut engine: StreamingEngine,
+    commands: Receiver<String>,
+    reports: Sender<String>,
+    status: StatusHandle,
+) {
+    for raw in commands {
+        let cmd: Command = match serde_json::from_str(&raw) {
+            Ok(c) => c,
+            Err(_) => continue, // a real server would 400; we skip
+        };
+        match cmd {
+            Command::ApplyConfig { physical } => {
+                engine.apply_config(StreamConfig::from_physical(&physical));
+            }
+            Command::NextBatch => {
+                engine.run_batches(1);
+                let report = engine
+                    .listener()
+                    .last()
+                    .expect("run_batches(1) completed a batch")
+                    .to_status_report();
+                *status.write() = Some(report.clone());
+                if reports.send(report.to_json()).is_err() {
+                    return; // controller went away
+                }
+            }
+            Command::Shutdown => return,
+        }
+    }
+}
+
+/// The controller half: a [`StreamingSystem`] whose every interaction is a
+/// JSON message to the engine thread.
+pub struct RemoteSystem {
+    commands: Sender<String>,
+    reports: Receiver<String>,
+    handle: Option<JoinHandle<()>>,
+    status: StatusHandle,
+    last_time_s: f64,
+}
+
+impl RemoteSystem {
+    /// Spawn `engine` on its own thread and return the remote handle.
+    pub fn spawn(engine: StreamingEngine) -> Self {
+        let (cmd_tx, cmd_rx) = bounded::<String>(16);
+        let (rep_tx, rep_rx) = bounded::<String>(16);
+        let status: StatusHandle = Arc::new(RwLock::new(None));
+        let status_for_engine = Arc::clone(&status);
+        let handle = std::thread::Builder::new()
+            .name("spark-sim-engine".into())
+            .spawn(move || serve(engine, cmd_rx, rep_tx, status_for_engine))
+            .expect("spawn engine thread");
+        RemoteSystem {
+            commands: cmd_tx,
+            reports: rep_rx,
+            handle: Some(handle),
+            status,
+            last_time_s: 0.0,
+        }
+    }
+
+    /// A shareable read handle onto the latest completed batch — dashboards
+    /// and health checks read this without disturbing the control loop.
+    pub fn status_handle(&self) -> StatusHandle {
+        Arc::clone(&self.status)
+    }
+
+    fn send(&self, cmd: &Command) {
+        let json = serde_json::to_string(cmd).expect("command serialization");
+        self.commands.send(json).expect("engine thread alive");
+    }
+
+    /// Shut the engine thread down and join it.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = self
+                .commands
+                .send(serde_json::to_string(&Command::Shutdown).unwrap());
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RemoteSystem {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl StreamingSystem for RemoteSystem {
+    fn apply_config(&mut self, physical: &[f64]) {
+        self.send(&Command::ApplyConfig {
+            physical: physical.to_vec(),
+        });
+    }
+
+    fn next_batch(&mut self) -> BatchObservation {
+        self.send(&Command::NextBatch);
+        let json = self.reports.recv().expect("engine thread alive");
+        let report = StatusReport::from_json(&json).expect("valid wire format");
+        let obs = report.to_observation();
+        self.last_time_s = obs.completed_at_s;
+        obs
+    }
+
+    fn now_s(&self) -> f64 {
+        self.last_time_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::SimSystem;
+    use crate::engine::EngineParams;
+    use crate::noise::NoiseParams;
+    use nostop_core::controller::{NoStop, NoStopConfig};
+    use nostop_datagen::rate::ConstantRate;
+    use nostop_simcore::SimDuration;
+    use nostop_workloads::WorkloadKind;
+
+    fn engine(seed: u64) -> StreamingEngine {
+        let mut params = EngineParams::paper(WorkloadKind::WordCount, seed);
+        params.noise = NoiseParams::disabled();
+        StreamingEngine::new(
+            params,
+            StreamConfig::new(SimDuration::from_secs(15), 10),
+            Box::new(ConstantRate::new(120_000.0)),
+        )
+    }
+
+    #[test]
+    fn remote_system_serves_batches_over_json() {
+        let mut remote = RemoteSystem::spawn(engine(1));
+        let b1 = remote.next_batch();
+        let b2 = remote.next_batch();
+        assert!(b2.completed_at_s > b1.completed_at_s);
+        assert!(b1.records > 0);
+        assert_eq!(b1.interval_s, 15.0);
+        remote.shutdown();
+    }
+
+    #[test]
+    fn remote_config_changes_take_effect() {
+        let mut remote = RemoteSystem::spawn(engine(2));
+        remote.next_batch();
+        remote.apply_config(&[25.0, 16.0]);
+        let mut seen = false;
+        for _ in 0..5 {
+            if remote.next_batch().interval_s == 25.0 {
+                seen = true;
+                break;
+            }
+        }
+        assert!(seen, "interval change must cross the wire");
+    }
+
+    #[test]
+    fn remote_and_in_process_agree_batch_for_batch() {
+        let mut remote = RemoteSystem::spawn(engine(3));
+        let mut local = SimSystem::new(engine(3));
+        for _ in 0..5 {
+            let r = remote.next_batch();
+            let l = local.next_batch();
+            assert_eq!(r.records, l.records);
+            // JSON timestamps are millisecond-granular.
+            assert!((r.processing_s - l.processing_s).abs() < 2e-3);
+            assert_eq!(r.num_executors, l.num_executors);
+        }
+    }
+
+    #[test]
+    fn nostop_tunes_through_the_thread_boundary() {
+        let mut remote = RemoteSystem::spawn(engine(4));
+        let mut ns = NoStop::new(NoStopConfig::paper_default(), 5);
+        ns.run(&mut remote, 10);
+        assert_eq!(ns.rounds(), 10);
+        // At least a few optimization rounds happened (2 changes each);
+        // later rounds may be paused monitoring (0 changes).
+        assert!(ns.config_changes() >= 6, "{}", ns.config_changes());
+        let phys = ns.current_physical();
+        assert!((1.0..=40.0).contains(&phys[0]));
+    }
+
+    #[test]
+    fn status_handle_is_readable_from_another_thread() {
+        let mut remote = RemoteSystem::spawn(engine(6));
+        let handle = remote.status_handle();
+        assert!(handle.read().is_none(), "no batch yet");
+        let b = remote.next_batch();
+        let observer = std::thread::spawn(move || {
+            let guard = handle.read();
+            guard.as_ref().map(|r| r.num_records)
+        });
+        let seen = observer.join().unwrap();
+        assert_eq!(seen, Some(b.records));
+    }
+
+    #[test]
+    fn drop_shuts_the_engine_thread_down() {
+        let remote = RemoteSystem::spawn(engine(5));
+        drop(remote); // must not hang or leak the thread
+    }
+}

@@ -1,0 +1,115 @@
+//! Kernel calibration: measure real per-record costs.
+//!
+//! The simulator's [`CostModel`](crate::cost::CostModel) presets encode
+//! Spark-scale per-record costs (deserialization + closure dispatch
+//! dominate there). This module measures what the *in-process Rust kernels*
+//! cost per record, so that (a) tests can check the relative ordering of
+//! workload expense matches the presets, and (b) users adapting the
+//! simulator to their own workloads have a template for deriving a model
+//! from a real kernel.
+
+use crate::kind::WorkloadKind;
+use crate::linear::StreamingLinearRegression;
+use crate::loganalyze::LogAnalyzer;
+use crate::logistic::StreamingLogisticRegression;
+use crate::wordcount::WordCount;
+use crate::StreamingJob;
+use nostop_datagen::{RecordGenerator, RecordKind};
+use nostop_simcore::SimRng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Measured kernel cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Which workload was measured.
+    pub kind: WorkloadKind,
+    /// Records processed.
+    pub records: u64,
+    /// Mean wall-clock µs per record.
+    pub per_record_us: f64,
+    /// Total wall-clock µs.
+    pub total_us: f64,
+}
+
+/// Build the kernel for `kind` (feature dimension 8 for the ML kernels).
+pub fn kernel_for(kind: WorkloadKind) -> Box<dyn StreamingJob> {
+    match kind {
+        WorkloadKind::LogisticRegression => Box::new(StreamingLogisticRegression::new(8)),
+        WorkloadKind::LinearRegression => Box::new(StreamingLinearRegression::new(8)),
+        WorkloadKind::WordCount => Box::new(WordCount::new()),
+        WorkloadKind::PageAnalyze => Box::new(LogAnalyzer::new()),
+    }
+}
+
+/// Run `kind`'s kernel over `records` synthetic records in `batch_size`
+/// chunks and measure the mean per-record wall time.
+pub fn calibrate(kind: WorkloadKind, records: u64, batch_size: usize, seed: u64) -> Calibration {
+    assert!(
+        records > 0 && batch_size > 0,
+        "need records and a batch size"
+    );
+    let record_kind: RecordKind = kind.record_kind();
+    let mut gen = RecordGenerator::new(record_kind, 8, SimRng::seed_from_u64(seed));
+    let mut job = kernel_for(kind);
+
+    // Pre-generate outside the timed region.
+    let data = gen.take(records as usize);
+    let start = Instant::now();
+    for chunk in data.chunks(batch_size) {
+        job.process_batch(chunk);
+    }
+    let total_us = start.elapsed().as_secs_f64() * 1e6;
+    Calibration {
+        kind,
+        records,
+        per_record_us: total_us / records as f64,
+        total_us,
+    }
+}
+
+/// Calibrate all four workloads with a common budget.
+pub fn calibrate_all(records: u64, batch_size: usize, seed: u64) -> Vec<Calibration> {
+    WorkloadKind::ALL
+        .iter()
+        .map(|&k| calibrate(k, records, batch_size, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_measures_positive_cost() {
+        let c = calibrate(WorkloadKind::WordCount, 2_000, 500, 1);
+        assert_eq!(c.records, 2_000);
+        assert!(c.per_record_us > 0.0);
+        assert!(c.total_us >= c.per_record_us);
+    }
+
+    #[test]
+    fn per_record_cost_is_a_stable_intensive_quantity() {
+        // Doubling the record count should leave the *per-record* cost in
+        // the same ballpark (it is an intensive measurement, not a total).
+        // Wide tolerance: wall-clock measurements on shared CI machines jitter.
+        let small = calibrate(WorkloadKind::WordCount, 2_000, 500, 2);
+        let large = calibrate(WorkloadKind::WordCount, 8_000, 500, 2);
+        let ratio = large.per_record_us / small.per_record_us;
+        assert!(ratio > 0.05 && ratio < 20.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn calibrate_all_covers_every_workload() {
+        let all = calibrate_all(1_000, 250, 3);
+        assert_eq!(all.len(), 4);
+        let kinds: Vec<WorkloadKind> = all.iter().map(|c| c.kind).collect();
+        assert_eq!(kinds, WorkloadKind::ALL.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_panics() {
+        let _ = calibrate(WorkloadKind::WordCount, 10, 0, 1);
+    }
+}

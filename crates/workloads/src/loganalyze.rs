@@ -1,0 +1,243 @@
+//! Log/Page Analyze — the industry-scenario workload.
+//!
+//! Receives Nginx combined-log-format lines "from Kafka, washing and
+//! analyzing data, and writing results back into HDFS" (§6.1). The pipeline:
+//!
+//! 1. **Parse** each line into structured fields;
+//! 2. **Wash**: drop malformed lines and obviously bogus requests;
+//! 3. **Analyze**: per-status counts, per-URL hit counts, bytes served,
+//!    client-IP cardinality (approximated exactly here with a set);
+//! 4. **Sink**: fold into a persistent [`LogSummary`] (the simulator charges
+//!    the HDFS write cost; here we keep the aggregate in memory).
+
+use crate::StreamingJob;
+use nostop_datagen::Record;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// One parsed Nginx combined-log-format line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Client IP.
+    pub ip: String,
+    /// HTTP method (GET, POST, …).
+    pub method: String,
+    /// Request path (with query string).
+    pub url: String,
+    /// HTTP status code.
+    pub status: u16,
+    /// Response size in bytes.
+    pub bytes: u64,
+}
+
+/// Parse a combined-log-format line; `None` for malformed input.
+///
+/// Format: `IP - - [timestamp] "METHOD URL PROTO" STATUS BYTES "referer" "ua"`.
+pub fn parse_line(line: &str) -> Option<LogEntry> {
+    let mut rest = line;
+    let ip_end = rest.find(' ')?;
+    let ip = &rest[..ip_end];
+    if ip.split('.').count() != 4 || !ip.split('.').all(|o| o.parse::<u8>().is_ok()) {
+        return None;
+    }
+    // Skip to the quoted request.
+    let req_start = rest.find('"')?;
+    rest = &rest[req_start + 1..];
+    let req_end = rest.find('"')?;
+    let request = &rest[..req_end];
+    rest = &rest[req_end + 1..];
+    let mut req_parts = request.split(' ');
+    let method = req_parts.next()?.to_owned();
+    let url = req_parts.next()?.to_owned();
+    let proto = req_parts.next()?;
+    if !proto.starts_with("HTTP/") {
+        return None;
+    }
+    // STATUS BYTES follow the closing quote.
+    let mut tail = rest.trim_start().split(' ');
+    let status: u16 = tail.next()?.parse().ok()?;
+    let bytes: u64 = tail.next()?.parse().ok()?;
+    if !(100..=599).contains(&status) {
+        return None;
+    }
+    Some(LogEntry {
+        ip: ip.to_owned(),
+        method,
+        url,
+        status,
+        bytes,
+    })
+}
+
+/// Persistent analytics state — what the job writes to HDFS each batch.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LogSummary {
+    /// Hits per HTTP status code.
+    pub status_counts: HashMap<u16, u64>,
+    /// Hits per URL.
+    pub url_counts: HashMap<String, u64>,
+    /// Total bytes served.
+    pub total_bytes: u64,
+    /// Lines accepted by the washing step.
+    pub accepted: u64,
+    /// Lines rejected as malformed.
+    pub rejected: u64,
+}
+
+impl LogSummary {
+    /// Fraction of 5xx responses among accepted lines.
+    pub fn error_rate(&self) -> f64 {
+        if self.accepted == 0 {
+            return 0.0;
+        }
+        let errors: u64 = self
+            .status_counts
+            .iter()
+            .filter(|(&s, _)| s >= 500)
+            .map(|(_, &c)| c)
+            .sum();
+        errors as f64 / self.accepted as f64
+    }
+
+    /// The `k` most-hit URLs, ties broken lexicographically.
+    pub fn top_urls(&self, k: usize) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .url_counts
+            .iter()
+            .map(|(u, &c)| (u.clone(), c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+}
+
+/// The streaming log analyzer.
+#[derive(Debug, Clone, Default)]
+pub struct LogAnalyzer {
+    summary: LogSummary,
+    distinct_ips: HashSet<String>,
+}
+
+impl LogAnalyzer {
+    /// A fresh analyzer.
+    pub fn new() -> Self {
+        LogAnalyzer::default()
+    }
+
+    /// The running analytics aggregate.
+    pub fn summary(&self) -> &LogSummary {
+        &self.summary
+    }
+
+    /// Distinct client IPs seen.
+    pub fn distinct_ips(&self) -> usize {
+        self.distinct_ips.len()
+    }
+}
+
+impl StreamingJob for LogAnalyzer {
+    fn process_batch(&mut self, records: &[Record]) -> usize {
+        let mut accepted = 0usize;
+        for r in records {
+            let Record::NginxLog(line) = r else { continue };
+            match parse_line(line) {
+                Some(entry) => {
+                    accepted += 1;
+                    *self.summary.status_counts.entry(entry.status).or_insert(0) += 1;
+                    *self.summary.url_counts.entry(entry.url).or_insert(0) += 1;
+                    self.summary.total_bytes += entry.bytes;
+                    self.distinct_ips.insert(entry.ip);
+                }
+                None => self.summary.rejected += 1,
+            }
+        }
+        self.summary.accepted += accepted as u64;
+        accepted
+    }
+
+    fn name(&self) -> &'static str {
+        "page-analyze"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nostop_datagen::{RecordGenerator, RecordKind};
+    use nostop_simcore::SimRng;
+
+    const GOOD: &str = r#"10.0.0.1 - - [07/Jul/2026:12:00:01 +0000] "GET /index.html HTTP/1.1" 200 5120 "-" "Mozilla/5.0""#;
+
+    #[test]
+    fn parses_well_formed_line() {
+        let e = parse_line(GOOD).expect("should parse");
+        assert_eq!(e.ip, "10.0.0.1");
+        assert_eq!(e.method, "GET");
+        assert_eq!(e.url, "/index.html");
+        assert_eq!(e.status, 200);
+        assert_eq!(e.bytes, 5120);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_line("!!corrupt log fragment").is_none());
+        assert!(parse_line("").is_none());
+        assert!(parse_line("999.999.1.1 - - [] \"GET / HTTP/1.1\" 200 1").is_none());
+        assert!(parse_line(r#"1.2.3.4 - - [] "GET / FTP" 200 1"#).is_none());
+        assert!(parse_line(r#"1.2.3.4 - - [] "GET / HTTP/1.1" 999 1"#).is_none());
+        assert!(parse_line(r#"1.2.3.4 - - [] "GET / HTTP/1.1" abc 1"#).is_none());
+    }
+
+    #[test]
+    fn washing_separates_good_from_bad() {
+        let mut an = LogAnalyzer::new();
+        let records = vec![
+            Record::NginxLog(GOOD.to_owned()),
+            Record::NginxLog("garbage".to_owned()),
+            Record::NginxLog(GOOD.to_owned()),
+        ];
+        let accepted = an.process_batch(&records);
+        assert_eq!(accepted, 2);
+        assert_eq!(an.summary().accepted, 2);
+        assert_eq!(an.summary().rejected, 1);
+        assert_eq!(an.summary().total_bytes, 10_240);
+        assert_eq!(an.distinct_ips(), 1);
+    }
+
+    #[test]
+    fn aggregates_generated_stream() {
+        let mut g = RecordGenerator::new(RecordKind::NginxLog, 1, SimRng::seed_from_u64(8));
+        let mut an = LogAnalyzer::new();
+        let records = g.take(2000);
+        let accepted = an.process_batch(&records);
+        // Generator corrupts ~2% of lines.
+        assert!(accepted > 1900 && accepted <= 2000, "accepted {accepted}");
+        assert!(an.summary().rejected < 100);
+        assert!(an.summary().status_counts[&200] > 1000);
+        assert!(an.summary().error_rate() < 0.3);
+        assert!(!an.summary().top_urls(3).is_empty());
+        assert!(an.distinct_ips() > 1000);
+    }
+
+    #[test]
+    fn error_rate_counts_only_5xx() {
+        let mut an = LogAnalyzer::new();
+        let mk = |status: u16| {
+            Record::NginxLog(format!(
+                r#"1.2.3.4 - - [x] "GET / HTTP/1.1" {status} 10 "-" "ua""#
+            ))
+        };
+        an.process_batch(&[mk(200), mk(404), mk(500), mk(503)]);
+        assert!((an.summary().error_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_foreign_records() {
+        let mut an = LogAnalyzer::new();
+        assert_eq!(an.process_batch(&[]), 0);
+        assert_eq!(an.process_batch(&[Record::TextLine("x".into())]), 0);
+        assert_eq!(an.summary().error_rate(), 0.0);
+        assert_eq!(an.summary().top_urls(5), vec![]);
+    }
+}

@@ -1,0 +1,160 @@
+//! WordCount — the CPU-bound, fixed-flow workload.
+//!
+//! Two operations, exactly as the paper describes ("it only requires two
+//! mapping/reducing operations and has a fixed processing flow", §6.3):
+//! a map over lines splitting into words, and a reduce aggregating counts
+//! into a persistent running total.
+
+use crate::StreamingJob;
+use nostop_datagen::Record;
+use std::collections::HashMap;
+
+/// A streaming word counter with a persistent running total.
+#[derive(Debug, Clone, Default)]
+pub struct WordCount {
+    counts: HashMap<String, u64>,
+    words_seen: u64,
+    lines_seen: u64,
+}
+
+impl WordCount {
+    /// An empty counter.
+    pub fn new() -> Self {
+        WordCount::default()
+    }
+
+    /// The running count for `word`.
+    pub fn count(&self, word: &str) -> u64 {
+        self.counts.get(word).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct words seen.
+    pub fn distinct_words(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total word occurrences seen.
+    pub fn total_words(&self) -> u64 {
+        self.words_seen
+    }
+
+    /// Total lines processed.
+    pub fn total_lines(&self) -> u64 {
+        self.lines_seen
+    }
+
+    /// The `k` most frequent words, ties broken lexicographically.
+    pub fn top_k(&self, k: usize) -> Vec<(String, u64)> {
+        let mut entries: Vec<(String, u64)> =
+            self.counts.iter().map(|(w, &c)| (w.clone(), c)).collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        entries.truncate(k);
+        entries
+    }
+}
+
+impl StreamingJob for WordCount {
+    fn process_batch(&mut self, records: &[Record]) -> usize {
+        // Map phase: per-batch local aggregation (combiner), exactly what a
+        // Spark map-side combine does before the shuffle.
+        let mut local: HashMap<&str, u64> = HashMap::new();
+        let mut lines = 0usize;
+        for r in records {
+            if let Record::TextLine(line) = r {
+                lines += 1;
+                for word in line.split_whitespace() {
+                    *local.entry(word).or_insert(0) += 1;
+                }
+            }
+        }
+        // Reduce phase: merge into the persistent state.
+        for (word, c) in local {
+            self.words_seen += c;
+            *self.counts.entry(word.to_owned()).or_insert(0) += c;
+        }
+        self.lines_seen += lines as u64;
+        lines
+    }
+
+    fn name(&self) -> &'static str {
+        "wordcount"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nostop_datagen::{RecordGenerator, RecordKind};
+    use nostop_simcore::SimRng;
+
+    fn lines(xs: &[&str]) -> Vec<Record> {
+        xs.iter().map(|s| Record::TextLine(s.to_string())).collect()
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        let mut wc = WordCount::new();
+        let n = wc.process_batch(&lines(&["a b a", "b c", "a"]));
+        assert_eq!(n, 3);
+        assert_eq!(wc.count("a"), 3);
+        assert_eq!(wc.count("b"), 2);
+        assert_eq!(wc.count("c"), 1);
+        assert_eq!(wc.count("zzz"), 0);
+        assert_eq!(wc.distinct_words(), 3);
+        assert_eq!(wc.total_words(), 6);
+        assert_eq!(wc.total_lines(), 3);
+    }
+
+    #[test]
+    fn state_persists_across_batches() {
+        let mut wc = WordCount::new();
+        wc.process_batch(&lines(&["x y"]));
+        wc.process_batch(&lines(&["x"]));
+        assert_eq!(wc.count("x"), 2);
+        assert_eq!(wc.count("y"), 1);
+    }
+
+    #[test]
+    fn batching_is_associative() {
+        // Processing records in one batch or many must give identical state.
+        let mut g = RecordGenerator::new(RecordKind::TextLine, 1, SimRng::seed_from_u64(4));
+        let records = g.take(500);
+        let mut whole = WordCount::new();
+        whole.process_batch(&records);
+        let mut parts = WordCount::new();
+        for chunk in records.chunks(37) {
+            parts.process_batch(chunk);
+        }
+        assert_eq!(whole.total_words(), parts.total_words());
+        assert_eq!(whole.distinct_words(), parts.distinct_words());
+        for (w, c) in whole.top_k(100) {
+            assert_eq!(parts.count(&w), c);
+        }
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_tie_broken() {
+        let mut wc = WordCount::new();
+        wc.process_batch(&lines(&["b a", "b a", "c"]));
+        let top = wc.top_k(3);
+        assert_eq!(top[0], ("a".into(), 2)); // tie with b, lexicographic
+        assert_eq!(top[1], ("b".into(), 2));
+        assert_eq!(top[2], ("c".into(), 1));
+        assert_eq!(wc.top_k(1).len(), 1);
+    }
+
+    #[test]
+    fn non_text_records_are_skipped() {
+        let mut wc = WordCount::new();
+        let n = wc.process_batch(&[Record::NginxLog("irrelevant".into())]);
+        assert_eq!(n, 0);
+        assert_eq!(wc.total_words(), 0);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut wc = WordCount::new();
+        assert_eq!(wc.process_batch(&[]), 0);
+        assert_eq!(wc.top_k(5), vec![]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Quickstart: tune a simulated Spark Streaming job with NoStop.
+//!
+//! Builds the paper's five-node heterogeneous cluster running streaming
+//! logistic regression under a varying input rate, attaches the NoStop
+//! controller, runs thirty optimization rounds, and prints what happened.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use nostop::core::controller::{NoStop, NoStopConfig, RoundOutcome};
+use nostop::core::system::StreamingSystem;
+use nostop::datagen::rate::UniformRandomRate;
+use nostop::sim::{EngineParams, SimSystem, StreamConfig, StreamingEngine};
+use nostop::simcore::SimRng;
+use nostop::workloads::WorkloadKind;
+
+fn main() {
+    // 1. The workload and its paper-given arrival-rate range (Fig. 5).
+    let workload = WorkloadKind::LogisticRegression;
+    let (lo, hi) = workload.paper_rate_range();
+    let rate = UniformRandomRate::new(lo, hi, 30.0, SimRng::seed_from_u64(5));
+
+    // 2. The simulated cluster (Table 2) with the default configuration:
+    //    a 20.5 s batch interval and 10 executors.
+    let engine = StreamingEngine::new(
+        EngineParams::paper(workload, 42),
+        StreamConfig::paper_initial(),
+        Box::new(rate),
+    );
+    let mut system = SimSystem::new(engine);
+
+    // 3. The controller, with the paper's §6.2.1 settings adapted to the
+    //    workload's rate range.
+    let config = NoStopConfig::paper_default().with_rate_range(lo, hi);
+    let mut nostop = NoStop::new(config, 7);
+
+    // 4. Run. Each round is one SPSA iteration: two perturbed
+    //    configurations applied to the live system, measured, and a step.
+    println!("round  outcome     batch-interval  executors  delay");
+    for round in 0..30 {
+        match nostop.run_round(&mut system) {
+            RoundOutcome::Optimized {
+                mean_delay_s,
+                physical,
+                paused,
+            } => println!(
+                "{round:>5}  optimized   {:>9.1} s  {:>9.0}  {mean_delay_s:>5.1} s{}",
+                physical[0],
+                physical[1],
+                if paused { "  -> paused at optimum" } else { "" }
+            ),
+            RoundOutcome::Paused { delay_s } => {
+                println!("{round:>5}  paused      (monitoring)             {delay_s:>5.1} s")
+            }
+            RoundOutcome::Reset => println!("{round:>5}  reset       (input rate shifted)"),
+            RoundOutcome::Woke => println!("{round:>5}  woke        (parked config unstable)"),
+        }
+    }
+
+    // 5. The result.
+    let physical = nostop.current_physical();
+    println!();
+    println!("started at:   20.5 s interval, 10 executors");
+    println!(
+        "ended at:     {:.1} s interval, {:.0} executors (k = {} SPSA iterations)",
+        physical[0],
+        physical[1],
+        nostop.k()
+    );
+    if let Some((best, delay)) = nostop.best_config() {
+        println!(
+            "best found:   {:.1} s interval, {:.0} executors (intrinsic delay {delay:.1} s)",
+            best[0], best[1]
+        );
+    }
+    println!(
+        "system time:  {:.0} s simulated, {} reconfigurations applied",
+        system.now_s(),
+        nostop.config_changes()
+    );
+}

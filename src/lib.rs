@@ -1,0 +1,12 @@
+//! Facade crate for the NoStop reproduction workspace.
+//!
+//! Re-exports every member crate under one roof so examples, integration
+//! tests, and downstream users can `use nostop::...` without tracking the
+//! workspace layout.
+
+pub use nostop_baselines as baselines;
+pub use nostop_core as core;
+pub use nostop_datagen as datagen;
+pub use nostop_simcore as simcore;
+pub use nostop_workloads as workloads;
+pub use spark_sim as sim;

@@ -1,0 +1,165 @@
+//! Edge cases of the simulated engine and controller that the main
+//! integration suites do not reach.
+
+use nostop::core::controller::{NoStop, NoStopConfig};
+use nostop::core::system::StreamingSystem;
+use nostop::datagen::rate::{ConstantRate, TraceRate};
+use nostop::sim::{EngineParams, SimSystem, StreamConfig, StreamingEngine};
+use nostop::simcore::SimDuration;
+use nostop::workloads::WorkloadKind;
+
+fn engine(rate: f64, interval_s: f64, execs: u32, seed: u64) -> StreamingEngine {
+    StreamingEngine::new(
+        EngineParams::paper(WorkloadKind::WordCount, seed),
+        StreamConfig::new(SimDuration::from_secs_f64(interval_s), execs),
+        Box::new(ConstantRate::new(rate)),
+    )
+}
+
+#[test]
+fn zero_rate_stream_still_completes_empty_batches() {
+    // Spark processes empty batches (overheads only); the engine must not
+    // stall or divide by zero.
+    let mut e = engine(0.0, 10.0, 8, 1);
+    e.run_batches(5);
+    for m in e.listener().history() {
+        assert_eq!(m.records, 0);
+        assert!(m.processing_time() > SimDuration::ZERO);
+        assert!(m.is_stable());
+    }
+}
+
+#[test]
+fn reapplying_the_identical_config_is_harmless() {
+    let mut e = engine(120_000.0, 12.0, 10, 2);
+    e.run_batches(3);
+    let before = e.listener().recent(1)[0].processing_time();
+    for _ in 0..5 {
+        e.apply_config(StreamConfig::new(SimDuration::from_secs(12), 10));
+    }
+    e.run_batches(3);
+    let after = e.listener().recent(1)[0].processing_time();
+    // No fresh executors were launched, so no jar-shipping penalty.
+    let ratio = after.as_secs_f64() / before.as_secs_f64();
+    assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn shrinking_the_interval_mid_run_cuts_sooner() {
+    let mut e = engine(120_000.0, 30.0, 16, 3);
+    e.run_batches(2);
+    let t = e.now();
+    e.apply_config(StreamConfig::new(SimDuration::from_secs(5), 16));
+    e.run_batches(2);
+    // The divider re-arms: the next cut happens within ~5 s, not 30.
+    let first_new = e
+        .listener()
+        .history()
+        .iter()
+        .find(|m| m.interval == SimDuration::from_secs(5))
+        .expect("new interval reached");
+    assert!(
+        first_new.submitted_at.saturating_since(t) <= SimDuration::from_secs(6),
+        "re-armed divider cut at {} after {}",
+        first_new.submitted_at,
+        t
+    );
+}
+
+#[test]
+fn executor_churn_does_not_lose_batches() {
+    let mut e = engine(120_000.0, 8.0, 4, 4);
+    for i in 0..12u32 {
+        e.apply_config(StreamConfig::new(
+            SimDuration::from_secs(8),
+            2 + (i * 3) % 18,
+        ));
+        e.run_batches(1);
+    }
+    // Every batch completed exactly once, ids contiguous.
+    let ids: Vec<u64> = e.listener().history().iter().map(|m| m.batch_id).collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), ids.len(), "no duplicate completions");
+    for w in sorted.windows(2) {
+        assert_eq!(w[1], w[0] + 1, "no gaps in batch ids");
+    }
+}
+
+#[test]
+fn trace_rate_replay_drives_the_engine() {
+    // Replay a recorded trace (CSV round-trip included) through the full
+    // stack: rates step exactly at the breakpoints.
+    let csv = "t_secs,rate\n0,50000\n60,150000\n";
+    let trace = TraceRate::from_csv(csv).expect("parses");
+    let mut e = StreamingEngine::new(
+        EngineParams::paper(WorkloadKind::WordCount, 5),
+        StreamConfig::new(SimDuration::from_secs(10), 16),
+        Box::new(trace),
+    );
+    e.run_batches(10);
+    let early: Vec<u64> = e
+        .listener()
+        .history()
+        .iter()
+        .filter(|m| m.submitted_at.as_secs_f64() <= 60.0)
+        .map(|m| m.records)
+        .collect();
+    let late: Vec<u64> = e
+        .listener()
+        .history()
+        .iter()
+        .filter(|m| m.submitted_at.as_secs_f64() > 70.0)
+        .map(|m| m.records)
+        .collect();
+    assert!(!early.is_empty() && !late.is_empty());
+    let early_mean = early.iter().sum::<u64>() / early.len() as u64;
+    let late_mean = late.iter().sum::<u64>() / late.len() as u64;
+    assert!(
+        (450_000..=550_000).contains(&early_mean),
+        "early {early_mean}"
+    );
+    assert!(
+        (1_400_000..=1_600_000).contains(&late_mean),
+        "late {late_mean}"
+    );
+}
+
+#[test]
+fn controller_config_round_trips_through_json() {
+    // Operators persist controller configs; the whole NoStopConfig must
+    // survive serde.
+    let cfg = NoStopConfig::paper_default().with_rate_range(7_000.0, 13_000.0);
+    let json = serde_json::to_string(&cfg).expect("serializes");
+    let back: NoStopConfig = serde_json::from_str(&json).expect("parses");
+    assert_eq!(back.space, cfg.space);
+    assert_eq!(back.gains, cfg.gains);
+    assert_eq!(back.reset_threshold_speed, cfg.reset_threshold_speed);
+    assert_eq!(back.optimizer, cfg.optimizer);
+    // And a controller built from the round-tripped config behaves
+    // identically on the same system.
+    let run = |c: NoStopConfig| {
+        let mut sys = SimSystem::new(engine(120_000.0, 20.5, 10, 9));
+        let mut ns = NoStop::new(c, 9);
+        ns.run(&mut sys, 8);
+        (ns.current_physical(), sys.now_s().to_bits())
+    };
+    assert_eq!(run(cfg), run(back));
+}
+
+#[test]
+fn minimum_viable_cluster_still_works() {
+    // One worker, one core: everything serializes onto a single executor.
+    use nostop::sim::{Cluster, DiskClass};
+    let mut params = EngineParams::paper(WorkloadKind::WordCount, 6);
+    params.cluster = Cluster::homogeneous(1, 1, 1.0, DiskClass::Hdd);
+    let mut e = StreamingEngine::new(
+        params,
+        StreamConfig::new(SimDuration::from_secs(30), 1),
+        Box::new(ConstantRate::new(5_000.0)),
+    );
+    e.run_batches(4);
+    assert_eq!(e.listener().completed(), 4);
+    assert!(e.listener().history().iter().all(|m| m.num_executors == 1));
+}

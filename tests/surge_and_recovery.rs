@@ -1,0 +1,178 @@
+//! Regime changes: surges, resets, wakes, and the catch-up path.
+
+use nostop::core::controller::{NoStop, NoStopConfig, RoundOutcome};
+use nostop::core::system::StreamingSystem;
+use nostop::datagen::rate::{ConstantRate, SurgeRate, UniformRandomRate};
+use nostop::sim::{EngineParams, SimSystem, StreamConfig, StreamingEngine};
+use nostop::simcore::{SimDuration, SimRng};
+use nostop::workloads::WorkloadKind;
+
+const KIND: WorkloadKind = WorkloadKind::LinearRegression;
+
+fn surge_system(seed: u64, magnitude: f64, onset_s: f64) -> SimSystem {
+    let (lo, hi) = KIND.paper_rate_range();
+    let base = UniformRandomRate::new(lo, hi, 30.0, SimRng::seed_from_u64(seed));
+    let rate = SurgeRate::scheduled(Box::new(base), magnitude, onset_s, 1e9);
+    SimSystem::new(StreamingEngine::new(
+        EngineParams::paper(KIND, seed),
+        StreamConfig::paper_initial(),
+        Box::new(rate),
+    ))
+}
+
+fn controller(seed: u64) -> NoStop {
+    let (lo, hi) = KIND.paper_rate_range();
+    NoStop::new(NoStopConfig::paper_default().with_rate_range(lo, hi), seed)
+}
+
+#[test]
+fn a_doubling_surge_triggers_adaptation() {
+    let mut sys = surge_system(3, 2.0, 2_000.0);
+    let mut ns = controller(3);
+    let mut adapted = false;
+    for _ in 0..100 {
+        match ns.run_round(&mut sys) {
+            RoundOutcome::Reset | RoundOutcome::Woke if sys.now_s() >= 2_000.0 => {
+                adapted = true;
+                break;
+            }
+            _ => {}
+        }
+        if sys.now_s() > 30_000.0 {
+            break;
+        }
+    }
+    assert!(adapted, "the surge must trigger a reset or wake");
+}
+
+#[test]
+fn system_reconverges_after_the_surge() {
+    // The pause rule is variance-based, so a premature pause at a bad
+    // configuration is possible — the wake mechanism then resumes. The
+    // contract is that within a bounded number of rounds the controller
+    // reaches a *good* converged state: parked, queue drained, and the
+    // parked configuration near-feasible for the doubled rate.
+    use nostop::core::trace::RoundKind;
+    let mut sys = surge_system(11, 2.0, 2_000.0);
+    let mut ns = controller(11);
+    let mut good_pause = false;
+    for _ in 0..300 {
+        ns.run_round(&mut sys);
+        if sys.now_s() <= 2_500.0 {
+            continue;
+        }
+        if let Some(r) = ns.trace().rounds.last() {
+            if let RoundKind::Paused { observed } = &r.kind {
+                if observed.processing_s <= observed.interval_s * 1.1
+                    && observed.scheduling_delay_s < 0.5 * observed.interval_s
+                {
+                    good_pause = true;
+                    break;
+                }
+            }
+        }
+    }
+    assert!(
+        good_pause,
+        "should reach a stable converged state for the surged regime"
+    );
+}
+
+#[test]
+fn steady_rate_never_resets() {
+    let mut sys = SimSystem::new(StreamingEngine::new(
+        EngineParams::paper(KIND, 5),
+        StreamConfig::paper_initial(),
+        Box::new(ConstantRate::new(100_000.0)),
+    ));
+    let mut ns = controller(5);
+    ns.run(&mut sys, 40);
+    assert_eq!(ns.trace().resets(), 0, "constant rate must never reset");
+}
+
+#[test]
+fn deep_congestion_recovers_via_catchup_batches() {
+    // Force a hopeless configuration, build a backlog, then fix the
+    // configuration: the engine must drain via bounded catch-up batches
+    // and return to stability.
+    let mut engine = StreamingEngine::new(
+        EngineParams::paper(KIND, 9),
+        StreamConfig::new(SimDuration::from_secs(2), 2),
+        Box::new(ConstantRate::new(100_000.0)),
+    );
+    engine.run_batches(15); // deeply unstable: backlog builds
+    assert!(engine.broker_lag() > 0 || engine.queue_len() > 0);
+
+    engine.apply_config(StreamConfig::new(SimDuration::from_secs(12), 20));
+    // Drain: within a bounded number of batches the queue must empty.
+    let mut drained = false;
+    for _ in 0..60 {
+        engine.run_batches(1);
+        if engine.queue_len() == 0 && engine.broker_lag() == 0 {
+            drained = true;
+            break;
+        }
+    }
+    assert!(drained, "catch-up must drain the backlog");
+    // And steady state afterwards is stable.
+    engine.run_batches(5);
+    let m = engine.listener().last().unwrap();
+    assert!(m.is_stable(), "stable after recovery");
+}
+
+#[test]
+fn catchup_batches_are_bounded() {
+    let mut engine = StreamingEngine::new(
+        EngineParams::paper(KIND, 13),
+        StreamConfig::new(SimDuration::from_secs(2), 2),
+        Box::new(ConstantRate::new(100_000.0)),
+    );
+    engine.run_batches(25);
+    engine.apply_config(StreamConfig::new(SimDuration::from_secs(10), 20));
+    engine.run_batches(30);
+    // No batch may exceed the catch-up cap: 3 × rate × its own interval.
+    for m in engine.listener().history() {
+        let cap = 3.0 * 100_000.0 * m.interval.as_secs_f64() * 1.05;
+        assert!(
+            (m.records as f64) <= cap,
+            "batch {} records {} exceeds cap {cap}",
+            m.batch_id,
+            m.records
+        );
+    }
+}
+
+#[test]
+fn frozen_controller_stays_parked_forever() {
+    // With both adaptation mechanisms disabled, a converged controller
+    // never reacts to the surge — the §5.5 motivation.
+    let (lo, hi) = KIND.paper_rate_range();
+    let mut cfg = NoStopConfig::paper_default().with_rate_range(lo, hi);
+    cfg.reset_threshold_speed = f64::MAX / 4.0;
+    cfg.reset_relative = false;
+    cfg.reset_level_fraction = None;
+    cfg.unpause_instability_factor = f64::MAX / 4.0;
+
+    let mut sys = surge_system(17, 2.0, 3_000.0);
+    let mut ns = NoStop::new(cfg, 17);
+    let mut pauses_after_surge = 0;
+    for _ in 0..120 {
+        let out = ns.run_round(&mut sys);
+        if sys.now_s() > 3_500.0 {
+            match out {
+                RoundOutcome::Paused { .. } => pauses_after_surge += 1,
+                RoundOutcome::Reset | RoundOutcome::Woke => {
+                    panic!("disabled mechanisms must not fire")
+                }
+                _ => {}
+            }
+        }
+        if pauses_after_surge > 20 {
+            break;
+        }
+    }
+    // If it had converged pre-surge it just keeps observing, frozen.
+    if ns.is_paused() {
+        assert!(pauses_after_surge > 0);
+    }
+}
