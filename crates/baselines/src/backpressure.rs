@@ -8,10 +8,8 @@
 //! including its default gains (proportional 1.0, integral 0.2,
 //! derivative 0.0) and minimum rate (100 records/s).
 
-use serde::{Deserialize, Serialize};
-
 /// A PID estimator for the per-batch ingestion rate limit.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PidRateEstimator {
     /// Batch interval in seconds (Spark passes it in milliseconds).
     batch_interval_s: f64,

@@ -6,8 +6,13 @@
 //! happens when those guidelines are ignored: a too-small `a` crawls, a
 //! too-large one thrashes against the bounds; a too-small `c` makes the
 //! gradient estimate noise-dominated.
+//!
+//! Each `((a, c), seed)` pair is an independent cell on the
+//! [`nostop_bench::parallel`] fabric; the table is identical for any
+//! `NOSTOP_JOBS`.
 
 use nostop_bench::driver::{make_system, nostop_config, paper_rate};
+use nostop_bench::parallel::{grid, map_cells};
 use nostop_bench::report::{f, print_section, Table};
 use nostop_core::controller::NoStop;
 use nostop_simcore::stats::summarize;
@@ -16,6 +21,14 @@ use nostop_workloads::WorkloadKind;
 const KIND: WorkloadKind = WorkloadKind::LogisticRegression;
 const SEEDS: [u64; 3] = [5, 15, 25];
 const ROUNDS: u64 = 40;
+
+const SETTINGS: [(f64, f64); 5] = [
+    (10.0, 2.0), // paper setting
+    (2.0, 2.0),  // timid steps
+    (40.0, 2.0), // wild steps
+    (10.0, 0.3), // perturbation below noise
+    (10.0, 6.0), // huge perturbation
+];
 
 fn run_with(a: f64, c: f64, seed: u64) -> (Option<u64>, f64) {
     let mut cfg = nostop_config(KIND);
@@ -42,6 +55,9 @@ fn run_with(a: f64, c: f64, seed: u64) -> (Option<u64>, f64) {
 }
 
 fn main() {
+    let cells = grid(&SETTINGS, &SEEDS);
+    let results = map_cells(&cells, |&((a, c), seed)| run_with(a, c, seed));
+
     let mut table = Table::new(&[
         "a",
         "c",
@@ -49,18 +65,12 @@ fn main() {
         "mean converge round",
         "tail delay_s (mean over seeds)",
     ]);
-    for &(a, c) in &[
-        (10.0, 2.0), // paper setting
-        (2.0, 2.0),  // timid steps
-        (40.0, 2.0), // wild steps
-        (10.0, 0.3), // perturbation below noise
-        (10.0, 6.0), // huge perturbation
-    ] {
+    for (s, &(a, c)) in SETTINGS.iter().enumerate() {
+        let per_seed = &results[s * SEEDS.len()..(s + 1) * SEEDS.len()];
         let mut converge_rounds = Vec::new();
         let mut tails = Vec::new();
         let mut converged_count = 0;
-        for &seed in &SEEDS {
-            let (conv, tail) = run_with(a, c, seed);
+        for &(conv, tail) in per_seed {
             if let Some(r) = conv {
                 converged_count += 1;
                 converge_rounds.push(r as f64);

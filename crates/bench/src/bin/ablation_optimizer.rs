@@ -5,8 +5,13 @@
 //! paper's 2-D normalized space the conditioning is mild, so this is a
 //! fairness check more than a victory lap: does the extra measurement cost
 //! pay for itself online?
+//!
+//! Each `(optimizer, seed)` pair is an independent cell on the
+//! [`nostop_bench::parallel`] fabric; per-seed numbers merge in grid order
+//! so the table is identical for any `NOSTOP_JOBS`.
 
 use nostop_bench::driver::{make_system, nostop_config, paper_rate};
+use nostop_bench::parallel::{grid, map_cells};
 use nostop_bench::report::{f, pm, print_section, Table};
 use nostop_core::controller::{NoStop, OptimizerKind};
 use nostop_core::trace::RoundKind;
@@ -19,45 +24,33 @@ const KIND: WorkloadKind = WorkloadKind::WordCount;
 const FIRST_ORDER_ROUNDS: u64 = 40;
 const SECOND_ORDER_ROUNDS: u64 = 20;
 
-struct Outcome {
-    best_intrinsic: Vec<f64>,
-    converged: usize,
-    search_time: Vec<f64>,
-}
-
-fn run(kind: OptimizerKind) -> Outcome {
+/// One `(optimizer, seed)` run: best intrinsic delay (if any) and the
+/// convergence time (if the run paused after an optimized round).
+fn run_cell(kind: OptimizerKind, seed: u64) -> (Option<f64>, Option<f64>) {
     let rounds = match kind {
         OptimizerKind::FirstOrder => FIRST_ORDER_ROUNDS,
         OptimizerKind::SecondOrder => SECOND_ORDER_ROUNDS,
     };
-    let mut out = Outcome {
-        best_intrinsic: vec![],
-        converged: 0,
-        search_time: vec![],
-    };
-    for &seed in &SEEDS {
-        let mut cfg = nostop_config(KIND);
-        cfg.optimizer = kind;
-        let mut sys = make_system(KIND, seed, paper_rate(KIND, seed ^ 0x2A));
-        let mut ns = NoStop::new(cfg, seed);
-        ns.run(&mut sys, rounds);
-        if let Some((_, delay)) = ns.best_config() {
-            out.best_intrinsic.push(delay);
-        }
-        if let Some(r) = ns
-            .trace()
-            .rounds
-            .iter()
-            .find(|r| matches!(r.kind, RoundKind::Optimized { .. }) && r.paused_after)
-        {
-            out.converged += 1;
-            out.search_time.push(r.t_s);
-        }
-    }
-    out
+    let mut cfg = nostop_config(KIND);
+    cfg.optimizer = kind;
+    let mut sys = make_system(KIND, seed, paper_rate(KIND, seed ^ 0x2A));
+    let mut ns = NoStop::new(cfg, seed);
+    ns.run(&mut sys, rounds);
+    let best = ns.best_config().map(|(_, delay)| delay);
+    let search_time = ns
+        .trace()
+        .rounds
+        .iter()
+        .find(|r| matches!(r.kind, RoundKind::Optimized { .. }) && r.paused_after)
+        .map(|r| r.t_s);
+    (best, search_time)
 }
 
 fn main() {
+    const KINDS: [OptimizerKind; 2] = [OptimizerKind::FirstOrder, OptimizerKind::SecondOrder];
+    let cells = grid(&KINDS, &SEEDS);
+    let results = map_cells(&cells, |&(kind, seed)| run_cell(kind, seed));
+
     let mut table = Table::new(&[
         "optimizer",
         "windows/round",
@@ -65,19 +58,22 @@ fn main() {
         "converged runs",
         "search time_s",
     ]);
-    for (name, kind, windows) in [
-        ("1SPSA (paper)", OptimizerKind::FirstOrder, 2),
-        ("2SPSA (extension)", OptimizerKind::SecondOrder, 4),
-    ] {
-        let o = run(kind);
-        let d = summarize(&o.best_intrinsic);
-        let t = summarize(&o.search_time);
+    for (k, (name, windows)) in [("1SPSA (paper)", 2), ("2SPSA (extension)", 4)]
+        .iter()
+        .enumerate()
+    {
+        let per_seed = &results[k * SEEDS.len()..(k + 1) * SEEDS.len()];
+        let best_intrinsic: Vec<f64> = per_seed.iter().filter_map(|&(b, _)| b).collect();
+        let search_time: Vec<f64> = per_seed.iter().filter_map(|&(_, t)| t).collect();
+        let converged = search_time.len();
+        let d = summarize(&best_intrinsic);
+        let t = summarize(&search_time);
         table.row(&[
             name.to_string(),
             windows.to_string(),
             pm(d.mean, d.std_dev, 1),
-            format!("{}/{}", o.converged, SEEDS.len()),
-            if o.search_time.is_empty() {
+            format!("{}/{}", converged, SEEDS.len()),
+            if search_time.is_empty() {
                 "-".into()
             } else {
                 f(t.mean, 0)

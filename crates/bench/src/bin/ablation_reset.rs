@@ -7,8 +7,13 @@
 //! without it, the late-k gain sequence is so small that the controller
 //! crawls toward the new optimum. The binary reports the delay evolution
 //! after the surge under both variants.
+//!
+//! Each `(variant, seed)` pair is an independent cell on the
+//! [`nostop_bench::parallel`] fabric; per-seed outcomes merge in grid
+//! order so the table is identical for any `NOSTOP_JOBS`.
 
 use nostop_bench::driver::{make_system, nostop_config, surge_rate};
+use nostop_bench::parallel::{grid, map_cells};
 use nostop_bench::report::{f, print_section, Table};
 use nostop_core::controller::NoStop;
 use nostop_core::trace::RoundKind;
@@ -105,6 +110,18 @@ fn run(with_reset: bool, with_wake: bool, seed: u64) -> Outcome {
 }
 
 fn main() {
+    const VARIANTS: [(&str, bool, bool); 4] = [
+        ("reset + wake (default)", true, true),
+        ("wake only", false, true),
+        ("reset only", true, false),
+        ("neither (frozen pause)", false, false),
+    ];
+    let arms: Vec<(bool, bool)> = VARIANTS.iter().map(|&(_, r, w)| (r, w)).collect();
+    let cells = grid(&arms, &SEEDS);
+    let results = map_cells(&cells, |&((with_reset, with_wake), seed)| {
+        run(with_reset, with_wake, seed)
+    });
+
     let mut table = Table::new(&[
         "variant",
         "resets fired",
@@ -112,18 +129,13 @@ fn main() {
         "recovery time_s",
         "post-surge converged delay_s",
     ]);
-    for (name, with_reset, with_wake) in [
-        ("reset + wake (default)", true, true),
-        ("wake only", false, true),
-        ("reset only", true, false),
-        ("neither (frozen pause)", false, false),
-    ] {
+    for (v, &(name, _, _)) in VARIANTS.iter().enumerate() {
+        let per_seed = &results[v * SEEDS.len()..(v + 1) * SEEDS.len()];
         let mut resets = 0;
         let mut fracs = Vec::new();
         let mut delays = Vec::new();
         let mut recoveries = Vec::new();
-        for &seed in &SEEDS {
-            let o = run(with_reset, with_wake, seed);
+        for o in per_seed {
             resets += o.resets;
             fracs.push(o.post_surge_stable_frac);
             if o.post_surge_tail_delay.is_finite() {

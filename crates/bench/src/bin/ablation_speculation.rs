@@ -7,7 +7,12 @@
 //! on, straggler tasks on the slow Xeon node are re-run on faster idle
 //! executors, shortening single-wave stages — and the configuration
 //! NoStop converges to can afford a smaller interval.
+//!
+//! Each `(interval, executors)` row is an independent cell on the
+//! [`nostop_bench::parallel`] fabric, measuring its no-speculation and
+//! with-speculation arms back to back.
 
+use nostop_bench::parallel::map_cells;
 use nostop_bench::report::{f, print_section, Table};
 use nostop_core::system::StreamingSystem;
 use nostop_datagen::rate::ConstantRate;
@@ -32,6 +37,17 @@ fn mean_proc(speculation: Option<Speculation>, interval_s: f64, executors: u32) 
 }
 
 fn main() {
+    // Short intervals = few tasks = single waves where the slow Xeon's
+    // stragglers sit on the critical path; long intervals = many waves
+    // where fast executors absorb the imbalance anyway.
+    const ROWS: [(f64, u32); 4] = [(3.0, 15), (4.0, 20), (10.0, 20), (20.0, 20)];
+    let results = map_cells(&ROWS, |&(interval, executors)| {
+        (
+            mean_proc(None, interval, executors),
+            mean_proc(Some(Speculation::default()), interval, executors),
+        )
+    });
+
     let mut table = Table::new(&[
         "interval_s (tasks)",
         "executors",
@@ -39,12 +55,7 @@ fn main() {
         "proc_s with speculation",
         "saved %",
     ]);
-    // Short intervals = few tasks = single waves where the slow Xeon's
-    // stragglers sit on the critical path; long intervals = many waves
-    // where fast executors absorb the imbalance anyway.
-    for (interval, executors) in [(3.0, 15u32), (4.0, 20), (10.0, 20), (20.0, 20)] {
-        let without = mean_proc(None, interval, executors);
-        let with = mean_proc(Some(Speculation::default()), interval, executors);
+    for (&(interval, executors), &(without, with)) in ROWS.iter().zip(&results) {
         table.row(&[
             format!("{interval} ({})", (interval / 0.2) as u32),
             executors.to_string(),

@@ -9,7 +9,12 @@
 //! noise (std of the window mean) shrinking as the window grows — and why
 //! a couple of batches suffice for SPSA while a paused controller benefits
 //! from the additively-grown window.
+//!
+//! Both sweeps fan their independent cells (rule 1: one per scale-up
+//! seed; rule 2: one per window size) over the [`nostop_bench::parallel`]
+//! fabric; merged output is identical for any `NOSTOP_JOBS`.
 
+use nostop_bench::parallel::map_cells;
 use nostop_bench::report::{f, print_section, Table};
 use nostop_core::system::StreamingSystem;
 use nostop_datagen::rate::ConstantRate;
@@ -18,34 +23,57 @@ use nostop_simcore::SimDuration;
 use nostop_workloads::WorkloadKind;
 use spark_sim::{EngineParams, SimSystem, StreamConfig, StreamingEngine};
 
-fn main() {
-    // --- Rule 1: skip-first bias ---
-    let mut first_batch = Vec::new();
-    let mut settled = Vec::new();
-    for seed in 0..20u64 {
-        let params = EngineParams::paper(WorkloadKind::WordCount, seed);
+/// Rule-1 cell: one scale-up run — `(first post-change, two later)`.
+fn scale_up_cell(seed: u64) -> Option<(f64, f64)> {
+    let params = EngineParams::paper(WorkloadKind::WordCount, seed);
+    let engine = StreamingEngine::new(
+        params,
+        StreamConfig::new(SimDuration::from_secs(15), 8),
+        Box::new(ConstantRate::new(120_000.0)),
+    );
+    let mut sys = SimSystem::new(engine);
+    for _ in 0..4 {
+        sys.next_batch();
+    }
+    // Scale up; the next batches run on fresh executors.
+    sys.apply_config(&[15.0, 16.0]);
+    let mut post = Vec::new();
+    for _ in 0..6 {
+        let b = sys.next_batch();
+        if b.num_executors == 16 {
+            post.push(b.processing_s);
+        }
+    }
+    (post.len() >= 3).then(|| (post[0], post[2]))
+}
+
+/// Rule-2 cell: one window size — the std of the window-mean over seeds.
+fn window_noise_cell(window: usize) -> f64 {
+    let mut means = Vec::new();
+    for seed in 0..24u64 {
+        let params = EngineParams::paper(WorkloadKind::LogisticRegression, seed);
         let engine = StreamingEngine::new(
             params,
-            StreamConfig::new(SimDuration::from_secs(15), 8),
-            Box::new(ConstantRate::new(120_000.0)),
+            StreamConfig::new(SimDuration::from_secs(15), 14),
+            Box::new(ConstantRate::new(10_000.0)),
         );
         let mut sys = SimSystem::new(engine);
-        for _ in 0..4 {
-            sys.next_batch();
-        }
-        // Scale up; the next batches run on fresh executors.
-        sys.apply_config(&[15.0, 16.0]);
-        let mut post = Vec::new();
-        for _ in 0..6 {
-            let b = sys.next_batch();
-            if b.num_executors == 16 {
-                post.push(b.processing_s);
-            }
-        }
-        if post.len() >= 3 {
-            first_batch.push(post[0]);
-            settled.push(post[2]);
-        }
+        sys.next_batch(); // warm-up
+        let w: Vec<f64> = (0..window).map(|_| sys.next_batch().processing_s).collect();
+        means.push(w.iter().sum::<f64>() / window as f64);
+    }
+    summarize(&means).std_dev
+}
+
+fn main() {
+    // --- Rule 1: skip-first bias ---
+    let seeds: Vec<u64> = (0..20).collect();
+    let pairs = map_cells(&seeds, |&seed| scale_up_cell(seed));
+    let mut first_batch = Vec::new();
+    let mut settled = Vec::new();
+    for (first, later) in pairs.into_iter().flatten() {
+        first_batch.push(first);
+        settled.push(later);
     }
     let fb = summarize(&first_batch);
     let st = summarize(&settled);
@@ -63,22 +91,11 @@ fn main() {
     print_section("Ablation §5.4 rule 1: first-batch initialization bias", &t1);
 
     // --- Rule 2: window size vs measurement noise ---
+    const WINDOWS: [usize; 5] = [1, 2, 3, 6, 12];
+    let noise = map_cells(&WINDOWS, |&w| window_noise_cell(w));
     let mut t2 = Table::new(&["window (batches)", "std of window-mean processing_s"]);
-    for window in [1usize, 2, 3, 6, 12] {
-        let mut means = Vec::new();
-        for seed in 0..24u64 {
-            let params = EngineParams::paper(WorkloadKind::LogisticRegression, seed);
-            let engine = StreamingEngine::new(
-                params,
-                StreamConfig::new(SimDuration::from_secs(15), 14),
-                Box::new(ConstantRate::new(10_000.0)),
-            );
-            let mut sys = SimSystem::new(engine);
-            sys.next_batch(); // warm-up
-            let w: Vec<f64> = (0..window).map(|_| sys.next_batch().processing_s).collect();
-            means.push(w.iter().sum::<f64>() / window as f64);
-        }
-        t2.row(&[window.to_string(), f(summarize(&means).std_dev, 3)]);
+    for (&window, &std) in WINDOWS.iter().zip(&noise) {
+        t2.row(&[window.to_string(), f(std, 3)]);
     }
     print_section(
         "Ablation §5.4 rule 2: averaging window vs measurement noise \

@@ -6,10 +6,15 @@
 //! the source. NoStop instead reconfigures the system to absorb the load.
 //! This binary runs all three on logistic regression under the paper's
 //! varying rate and reports delay *and* the freshness cost (source lag).
+//!
+//! Each seed is an independent cell on the [`nostop_bench::parallel`]
+//! fabric; the three arms share a cell so their per-seed numbers stay
+//! paired, and the merged report is identical for any `NOSTOP_JOBS`.
 
 use nostop_bench::driver::{
     make_system, measure_config, nostop_config, paper_rate, run_backpressure,
 };
+use nostop_bench::parallel::map_cells;
 use nostop_bench::report::{f, pm, print_section, Table};
 use nostop_core::controller::NoStop;
 use nostop_core::trace::RoundKind;
@@ -22,48 +27,52 @@ const KIND: WorkloadKind = WorkloadKind::LogisticRegression;
 const FIXED: [f64; 2] = [8.0, 8.0];
 const DEFAULT: [f64; 2] = [20.5, 10.0];
 
-fn main() {
-    let mut delays_static = Vec::new();
-    let mut delays_bp = Vec::new();
-    let mut delays_ns = Vec::new();
-    let mut lag_bp = Vec::new();
-    let mut limits_bp = Vec::new();
+/// One seed's numbers: `(static, bp delay, bp lag, bp limit, nostop)`.
+fn run_cell(seed: u64) -> (f64, f64, f64, f64, f64) {
+    // Static default.
+    let mut sys = make_system(KIND, seed, paper_rate(KIND, seed ^ 0xAB));
+    let s = measure_config(&mut sys, &DEFAULT, 12, 15);
+    let static_delay = s.end_to_end.mean;
 
-    for &seed in &SEEDS {
-        // Static default.
-        let mut sys = make_system(KIND, seed, paper_rate(KIND, seed ^ 0xAB));
-        let s = measure_config(&mut sys, &DEFAULT, 12, 15);
-        delays_static.push(s.end_to_end.mean);
+    // Back pressure on the undersized fixed configuration.
+    let bp = run_backpressure(KIND, seed, &FIXED, 20, paper_rate(KIND, seed ^ 0xAB));
+    let bp_delay = bp.stats.end_to_end.mean;
+    let bp_lag = bp.broker_lag as f64;
+    let bp_limit = bp.final_rate_limit.unwrap_or(0.0);
 
-        // Back pressure on the undersized fixed configuration.
-        let bp = run_backpressure(KIND, seed, &FIXED, 20, paper_rate(KIND, seed ^ 0xAB));
-        delays_bp.push(bp.stats.end_to_end.mean);
-        lag_bp.push(bp.broker_lag as f64);
-        limits_bp.push(bp.final_rate_limit.unwrap_or(0.0));
-
-        // NoStop-managed system: steady-state converged delay.
-        let mut sys = make_system(KIND, seed, paper_rate(KIND, seed ^ 0xAB));
-        let mut ns = NoStop::new(nostop_config(KIND), seed);
-        let mut samples = Vec::new();
-        for _ in 0..150 {
-            ns.run_round(&mut sys);
-            if let Some(r) = ns.trace().rounds.last() {
-                if let RoundKind::Paused { observed } = &r.kind {
-                    if observed.scheduling_delay_s < 0.5 * observed.interval_s {
-                        samples.push(observed.end_to_end_s);
-                    }
+    // NoStop-managed system: steady-state converged delay.
+    let mut sys = make_system(KIND, seed, paper_rate(KIND, seed ^ 0xAB));
+    let mut ns = NoStop::new(nostop_config(KIND), seed);
+    let mut samples = Vec::new();
+    for _ in 0..150 {
+        ns.run_round(&mut sys);
+        if let Some(r) = ns.trace().rounds.last() {
+            if let RoundKind::Paused { observed } = &r.kind {
+                if observed.scheduling_delay_s < 0.5 * observed.interval_s {
+                    samples.push(observed.end_to_end_s);
                 }
             }
-            if samples.len() >= 10 {
-                break;
-            }
         }
-        delays_ns.push(if samples.is_empty() {
-            f64::NAN
-        } else {
-            samples.iter().sum::<f64>() / samples.len() as f64
-        });
+        if samples.len() >= 10 {
+            break;
+        }
     }
+    let ns_delay = if samples.is_empty() {
+        f64::NAN
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    };
+    (static_delay, bp_delay, bp_lag, bp_limit, ns_delay)
+}
+
+fn main() {
+    let results = map_cells(&SEEDS, |&seed| run_cell(seed));
+
+    let delays_static: Vec<f64> = results.iter().map(|r| r.0).collect();
+    let delays_bp: Vec<f64> = results.iter().map(|r| r.1).collect();
+    let lag_bp: Vec<f64> = results.iter().map(|r| r.2).collect();
+    let limits_bp: Vec<f64> = results.iter().map(|r| r.3).collect();
+    let delays_ns: Vec<f64> = results.iter().map(|r| r.4).collect();
 
     let st = summarize(&delays_static);
     let bp = summarize(&delays_bp);

@@ -7,14 +7,70 @@
 //! flattens once the pause rule fires; the ML workloads' traces are the
 //! most dynamic (their per-batch iteration counts vary), WordCount's the
 //! most stable.
+//!
+//! The four workload runs are independent cells on the
+//! [`nostop_bench::parallel`] fabric; each cell renders its evolution
+//! block to a string so the merged printout matches a serial run byte for
+//! byte.
 
 use nostop_bench::driver::run_nostop;
+use nostop_bench::parallel::map_cells;
 use nostop_bench::report::{f, print_section, Table};
 use nostop_workloads::WorkloadKind;
+use std::fmt::Write as _;
 
 const ROUNDS: u64 = 40;
 
+/// One workload cell: the rendered evolution block plus the summary row.
+fn run_cell(kind: WorkloadKind) -> (String, Vec<String>) {
+    let (run, _) = run_nostop(kind, 42, ROUNDS);
+    let trace = run.controller.trace();
+
+    let mut block = String::new();
+    let _ = writeln!(
+        block,
+        "--- {} evolution (round, delay_s, interval_s) ---",
+        kind.name()
+    );
+    let delays = trace.delay_series();
+    let intervals = trace.interval_series();
+    let _ = writeln!(block, "round,delay_s,interval_s");
+    for (round, interval) in &intervals {
+        let delay = delays
+            .iter()
+            .find(|(r, _)| r == round)
+            .map(|(_, d)| format!("{d:.2}"))
+            .unwrap_or_default();
+        let _ = writeln!(block, "{round},{delay},{:.1}", interval);
+    }
+
+    let phys = run.controller.current_physical();
+    let best = run
+        .controller
+        .best_config()
+        .map(|(_, d)| f(d, 2))
+        .unwrap_or_else(|| "-".into());
+    let converged = trace
+        .rounds
+        .iter()
+        .find(|r| r.paused_after)
+        .map(|r| r.round.to_string())
+        .unwrap_or_else(|| "-".into());
+    let row = vec![
+        kind.name().to_string(),
+        run.rounds.to_string(),
+        trace.resets().to_string(),
+        f(phys[0], 1),
+        f(phys[1], 0),
+        best,
+        converged,
+    ];
+    (block, row)
+}
+
 fn main() {
+    let results = map_cells(&WorkloadKind::ALL, |&kind| run_cell(kind));
+
     let mut summary = Table::new(&[
         "workload",
         "rounds",
@@ -24,48 +80,9 @@ fn main() {
         "best intrinsic delay_s",
         "converged@round",
     ]);
-    for kind in WorkloadKind::ALL {
-        let (run, _) = run_nostop(kind, 42, ROUNDS);
-        let trace = run.controller.trace();
-
-        println!(
-            "--- {} evolution (round, delay_s, interval_s) ---",
-            kind.name()
-        );
-        let delays = trace.delay_series();
-        let intervals = trace.interval_series();
-        println!("round,delay_s,interval_s");
-        for (round, interval) in &intervals {
-            let delay = delays
-                .iter()
-                .find(|(r, _)| r == round)
-                .map(|(_, d)| format!("{d:.2}"))
-                .unwrap_or_default();
-            println!("{round},{delay},{:.1}", interval);
-        }
-        println!();
-
-        let phys = run.controller.current_physical();
-        let best = run
-            .controller
-            .best_config()
-            .map(|(_, d)| f(d, 2))
-            .unwrap_or_else(|| "-".into());
-        let converged = trace
-            .rounds
-            .iter()
-            .find(|r| r.paused_after)
-            .map(|r| r.round.to_string())
-            .unwrap_or_else(|| "-".into());
-        summary.row(&[
-            kind.name().to_string(),
-            run.rounds.to_string(),
-            trace.resets().to_string(),
-            f(phys[0], 1),
-            f(phys[1], 0),
-            best,
-            converged,
-        ]);
+    for (block, row) in &results {
+        println!("{block}");
+        summary.row(row);
     }
     print_section("Fig 6: optimization evolution summary (seed 42)", &summary);
 }

@@ -9,8 +9,13 @@
 //! middle of the ranges: 20.5 s interval, 10 executors). Reports
 //! mean ± std over the five runs. Expected shape: NoStop significantly
 //! lower for all four workloads.
+//!
+//! Each `(workload, seed)` pair is an independent cell; the runs fan out
+//! over the [`nostop_bench::parallel`] fabric (`NOSTOP_JOBS` workers) and
+//! the report is identical for any worker count.
 
 use nostop_bench::driver::{make_system, measure_config, nostop_config, paper_rate};
+use nostop_bench::parallel::{grid, map_cells};
 use nostop_bench::report::{f, pm, print_section, Table};
 use nostop_core::controller::NoStop;
 use nostop_simcore::stats::summarize;
@@ -24,57 +29,65 @@ const TARGET_SAMPLES: usize = 10;
 const MEASURE_BATCHES: usize = 12;
 const DEFAULT: [f64; 2] = [20.5, 10.0];
 
-fn main() {
-    let mut table = Table::new(&["workload", "default e2e_s", "nostop e2e_s", "improvement %"]);
-    for kind in WorkloadKind::ALL {
-        let mut default_delays = Vec::new();
-        let mut nostop_delays = Vec::new();
-        for &seed in &SEEDS {
-            // Default arm: fresh system, static configuration.
-            let mut sys = make_system(kind, seed, paper_rate(kind, seed ^ 0xDEF));
-            let d = measure_config(&mut sys, &DEFAULT, MEASURE_BATCHES, 15);
-            default_delays.push(d.end_to_end.mean);
+/// One `(workload, seed)` cell: the default arm's mean end-to-end delay
+/// and the NoStop-managed arm's converged mean.
+fn run_cell(kind: WorkloadKind, seed: u64) -> (f64, f64) {
+    // Default arm: fresh system, static configuration.
+    let mut sys = make_system(kind, seed, paper_rate(kind, seed ^ 0xDEF));
+    let default_delay = measure_config(&mut sys, &DEFAULT, MEASURE_BATCHES, 15)
+        .end_to_end
+        .mean;
 
-            // NoStop arm: the *managed* system — the controller keeps
-            // running (pausing at optima, waking and re-adapting when the
-            // rate moves), exactly what the paper deploys. The measured
-            // delay is the mean over the converged (paused) rounds.
-            let mut sys = make_system(kind, seed, paper_rate(kind, seed ^ 0x5EED));
-            let mut ns = NoStop::new(nostop_config(kind), seed);
-            // Run until enough *steady-state* converged samples exist:
-            // paused observations whose scheduling delay shows the queue
-            // has drained (the first paused rounds after a park are still
-            // digesting backlog from the search phase).
-            let mut paused: Vec<f64> = Vec::new();
-            for _ in 0..MAX_ROUNDS {
-                ns.run_round(&mut sys);
-                if let Some(r) = ns.trace().rounds.last() {
-                    if let nostop_core::trace::RoundKind::Paused { observed } = &r.kind {
-                        if observed.scheduling_delay_s < 0.5 * observed.interval_s {
-                            paused.push(observed.end_to_end_s);
-                        }
-                    }
-                }
-                if paused.len() >= TARGET_SAMPLES {
-                    break;
+    // NoStop arm: the *managed* system — the controller keeps running
+    // (pausing at optima, waking and re-adapting when the rate moves),
+    // exactly what the paper deploys. The measured delay is the mean over
+    // the converged (paused) rounds.
+    let mut sys = make_system(kind, seed, paper_rate(kind, seed ^ 0x5EED));
+    let mut ns = NoStop::new(nostop_config(kind), seed);
+    // Run until enough *steady-state* converged samples exist: paused
+    // observations whose scheduling delay shows the queue has drained
+    // (the first paused rounds after a park are still digesting backlog
+    // from the search phase).
+    let mut paused: Vec<f64> = Vec::new();
+    for _ in 0..MAX_ROUNDS {
+        ns.run_round(&mut sys);
+        if let Some(r) = ns.trace().rounds.last() {
+            if let nostop_core::trace::RoundKind::Paused { observed } = &r.kind {
+                if observed.scheduling_delay_s < 0.5 * observed.interval_s {
+                    paused.push(observed.end_to_end_s);
                 }
             }
-            let mean = if paused.is_empty() {
-                // Never converged within the budget: fall back to the best
-                // configuration measured on a fresh system.
-                let best = ns
-                    .best_config()
-                    .map(|(p, _)| p)
-                    .unwrap_or_else(|| ns.current_physical());
-                let mut fresh = make_system(kind, seed, paper_rate(kind, seed ^ 0xBEE));
-                measure_config(&mut fresh, &best, MEASURE_BATCHES, 15)
-                    .end_to_end
-                    .mean
-            } else {
-                paused.iter().sum::<f64>() / paused.len() as f64
-            };
-            nostop_delays.push(mean);
         }
+        if paused.len() >= TARGET_SAMPLES {
+            break;
+        }
+    }
+    let nostop_delay = if paused.is_empty() {
+        // Never converged within the budget: fall back to the best
+        // configuration measured on a fresh system.
+        let best = ns
+            .best_config()
+            .map(|(p, _)| p)
+            .unwrap_or_else(|| ns.current_physical());
+        let mut fresh = make_system(kind, seed, paper_rate(kind, seed ^ 0xBEE));
+        measure_config(&mut fresh, &best, MEASURE_BATCHES, 15)
+            .end_to_end
+            .mean
+    } else {
+        paused.iter().sum::<f64>() / paused.len() as f64
+    };
+    (default_delay, nostop_delay)
+}
+
+fn main() {
+    let cells = grid(&WorkloadKind::ALL, &SEEDS);
+    let results = map_cells(&cells, |&(kind, seed)| run_cell(kind, seed));
+
+    let mut table = Table::new(&["workload", "default e2e_s", "nostop e2e_s", "improvement %"]);
+    for (w, kind) in WorkloadKind::ALL.iter().enumerate() {
+        let per_seed = &results[w * SEEDS.len()..(w + 1) * SEEDS.len()];
+        let default_delays: Vec<f64> = per_seed.iter().map(|&(d, _)| d).collect();
+        let nostop_delays: Vec<f64> = per_seed.iter().map(|&(_, n)| n).collect();
         let d = summarize(&default_delays);
         let n = summarize(&nostop_delays);
         let improvement = (d.mean - n.mean) / d.mean * 100.0;

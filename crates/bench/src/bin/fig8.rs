@@ -6,11 +6,16 @@
 //! configuration steps taken. Expected shape: comparable final delays,
 //! with SPSA needing *fewer steps and less search time* — the paper's
 //! run-time-efficiency claim.
+//!
+//! Each `(workload, seed)` pair runs both methods in one independent cell
+//! on the [`nostop_bench::parallel`] fabric; per-cell numbers merge in
+//! grid order, so the report is identical for any `NOSTOP_JOBS`.
 
 use nostop_baselines::BayesOpt;
 use nostop_bench::driver::{
     make_system, measure_config, nostop_config, paper_rate, run_nostop, run_tuner,
 };
+use nostop_bench::parallel::{grid, map_cells};
 use nostop_bench::report::{pm, print_section, Table};
 use nostop_simcore::stats::summarize;
 use nostop_workloads::WorkloadKind;
@@ -20,11 +25,8 @@ const NOSTOP_ROUNDS: u64 = 30;
 const BO_ITERATIONS: usize = 45;
 const MEASURE_BATCHES: usize = 10;
 
-struct MethodResult {
-    final_delay: Vec<f64>,
-    search_time: Vec<f64>,
-    config_steps: Vec<f64>,
-}
+/// Per-cell numbers for one method: `(final_delay, search_time, steps)`.
+type MethodCell = (f64, f64, f64);
 
 fn evaluate_best(kind: WorkloadKind, seed: u64, best: &[f64]) -> f64 {
     let mut sys = make_system(kind, seed, paper_rate(kind, seed ^ 0xF16));
@@ -33,7 +35,81 @@ fn evaluate_best(kind: WorkloadKind, seed: u64, best: &[f64]) -> f64 {
         .mean
 }
 
+/// One `(workload, seed)` cell: run NoStop/SPSA and BO back to back.
+fn run_cell(kind: WorkloadKind, seed: u64) -> (MethodCell, MethodCell) {
+    // --- NoStop / SPSA ---
+    let (run, _) = run_nostop(kind, seed, NOSTOP_ROUNDS);
+    let best = run
+        .controller
+        .best_config()
+        .map(|(p, _)| p)
+        .unwrap_or_else(|| run.controller.current_physical());
+    let spsa_delay = evaluate_best(kind, seed, &best);
+    // Search time: until the controller first paused, or the full run if
+    // it never did.
+    let spsa_time = run
+        .controller
+        .trace()
+        .rounds
+        .iter()
+        .find(|r| r.paused_after)
+        .map(|r| r.t_s)
+        .unwrap_or(run.virtual_time_s);
+    // Steps to convergence: two reconfigurations per optimization round
+    // before the first pause, plus the parking change.
+    let rounds_to_pause = run
+        .controller
+        .trace()
+        .rounds
+        .iter()
+        .take_while(|r| !r.paused_after)
+        .filter(|r| matches!(r.kind, nostop_core::trace::RoundKind::Optimized { .. }))
+        .count();
+    let spsa_steps = if run.controller.trace().rounds.iter().any(|r| r.paused_after) {
+        (rounds_to_pause * 2 + 1) as f64
+    } else {
+        run.controller.config_changes() as f64
+    };
+
+    // --- Bayesian optimization ---
+    let mut sys = make_system(kind, seed, paper_rate(kind, seed ^ 0x0B0));
+    let mut tuner = BayesOpt::new(nostop_config(kind).space, seed);
+    let bo_run = run_tuner(&mut tuner, &mut sys, BO_ITERATIONS);
+    let bo_best = bo_run
+        .best
+        .map(|(p, _)| p)
+        .unwrap_or_else(|| vec![20.5, 10.0]);
+    let bo_delay = evaluate_best(kind, seed, &bo_best);
+    // BO's convergence point, judged by the *same online stopping rule*
+    // NoStop uses: pause when the std-dev of the 10 best objectives falls
+    // below 1 s. (A post-hoc "last improvement" criterion would grant BO
+    // oracle knowledge.)
+    let mut rule = nostop_core::policy::PauseRule::paper_default();
+    let mut converged_at: Option<usize> = None;
+    for (i, step) in bo_run.history.iter().enumerate() {
+        rule.record(step.objective);
+        if rule.should_pause() {
+            converged_at = Some(i + 1);
+            break;
+        }
+    }
+    let steps = converged_at.unwrap_or(bo_run.history.len());
+    let bo_time = bo_run
+        .history
+        .get(steps.saturating_sub(1))
+        .map(|s| s.t_s)
+        .unwrap_or(bo_run.virtual_time_s);
+
+    (
+        (spsa_delay, spsa_time, spsa_steps),
+        (bo_delay, bo_time, steps as f64),
+    )
+}
+
 fn main() {
+    let cells = grid(&WorkloadKind::ALL, &SEEDS);
+    let results = map_cells(&cells, |&(kind, seed)| run_cell(kind, seed));
+
     let mut table = Table::new(&[
         "workload",
         "method",
@@ -41,89 +117,14 @@ fn main() {
         "search time_s",
         "config steps",
     ]);
-    for kind in WorkloadKind::ALL {
-        let mut spsa = MethodResult {
-            final_delay: vec![],
-            search_time: vec![],
-            config_steps: vec![],
-        };
-        let mut bo = MethodResult {
-            final_delay: vec![],
-            search_time: vec![],
-            config_steps: vec![],
-        };
-        for &seed in &SEEDS {
-            // --- NoStop / SPSA ---
-            let (run, _) = run_nostop(kind, seed, NOSTOP_ROUNDS);
-            let best = run
-                .controller
-                .best_config()
-                .map(|(p, _)| p)
-                .unwrap_or_else(|| run.controller.current_physical());
-            spsa.final_delay.push(evaluate_best(kind, seed, &best));
-            // Search time: until the controller first paused, or the full
-            // run if it never did.
-            let t = run
-                .controller
-                .trace()
-                .rounds
-                .iter()
-                .find(|r| r.paused_after)
-                .map(|r| r.t_s)
-                .unwrap_or(run.virtual_time_s);
-            spsa.search_time.push(t);
-            // Steps to convergence: two reconfigurations per optimization
-            // round before the first pause, plus the parking change.
-            let rounds_to_pause = run
-                .controller
-                .trace()
-                .rounds
-                .iter()
-                .take_while(|r| !r.paused_after)
-                .filter(|r| matches!(r.kind, nostop_core::trace::RoundKind::Optimized { .. }))
-                .count();
-            let steps = if run.controller.trace().rounds.iter().any(|r| r.paused_after) {
-                (rounds_to_pause * 2 + 1) as f64
-            } else {
-                run.controller.config_changes() as f64
-            };
-            spsa.config_steps.push(steps);
-
-            // --- Bayesian optimization ---
-            let mut sys = make_system(kind, seed, paper_rate(kind, seed ^ 0x0B0));
-            let mut tuner = BayesOpt::new(nostop_config(kind).space, seed);
-            let bo_run = run_tuner(&mut tuner, &mut sys, BO_ITERATIONS);
-            let bo_best = bo_run
-                .best
-                .map(|(p, _)| p)
-                .unwrap_or_else(|| vec![20.5, 10.0]);
-            bo.final_delay.push(evaluate_best(kind, seed, &bo_best));
-            // BO's convergence point, judged by the *same online stopping
-            // rule* NoStop uses: pause when the std-dev of the 10 best
-            // objectives falls below 1 s. (A post-hoc "last improvement"
-            // criterion would grant BO oracle knowledge.)
-            let mut rule = nostop_core::policy::PauseRule::paper_default();
-            let mut converged_at: Option<usize> = None;
-            for (i, step) in bo_run.history.iter().enumerate() {
-                rule.record(step.objective);
-                if rule.should_pause() {
-                    converged_at = Some(i + 1);
-                    break;
-                }
-            }
-            let steps = converged_at.unwrap_or(bo_run.history.len());
-            let t_converged = bo_run
-                .history
-                .get(steps.saturating_sub(1))
-                .map(|s| s.t_s)
-                .unwrap_or(bo_run.virtual_time_s);
-            bo.search_time.push(t_converged);
-            bo.config_steps.push(steps as f64);
-        }
+    for (w, kind) in WorkloadKind::ALL.iter().enumerate() {
+        let per_seed = &results[w * SEEDS.len()..(w + 1) * SEEDS.len()];
+        let spsa: Vec<MethodCell> = per_seed.iter().map(|&(s, _)| s).collect();
+        let bo: Vec<MethodCell> = per_seed.iter().map(|&(_, b)| b).collect();
         for (name, m) in [("nostop-spsa", &spsa), ("bayesopt", &bo)] {
-            let d = summarize(&m.final_delay);
-            let t = summarize(&m.search_time);
-            let c = summarize(&m.config_steps);
+            let d = summarize(&m.iter().map(|c| c.0).collect::<Vec<_>>());
+            let t = summarize(&m.iter().map(|c| c.1).collect::<Vec<_>>());
+            let c = summarize(&m.iter().map(|c| c.2).collect::<Vec<_>>());
             table.row(&[
                 kind.name().to_string(),
                 name.to_string(),

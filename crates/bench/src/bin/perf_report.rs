@@ -1,0 +1,183 @@
+//! The benchmark trajectory — writes `BENCH_perf.json`.
+//!
+//! Times two layers and records the numbers the performance work is
+//! judged by:
+//!
+//! 1. **Engine matrix** — the DES hot path, single-threaded: a fixed
+//!    matrix of `(workload, interval, executors)` cells, each simulating a
+//!    few hundred batches on one `StreamingEngine`. Reported as wall time
+//!    and simulated batches per second (the unit the scheduler/broker
+//!    optimizations move).
+//! 2. **Driver matrix** — the experiment fabric: fig7-style and
+//!    fig8-style cell grids run twice, once with `NOSTOP_JOBS=1` and once
+//!    with the configured worker count. On a multi-core host the second
+//!    pass shows the fan-out speedup; on a single-core host it honestly
+//!    shows ~1× (the fabric's value there is the byte-identity contract,
+//!    not throughput).
+//!
+//! Also records the peak RSS (`VmHWM` from `/proc/self/status`, a proxy
+//! for the bounded-listener memory guarantee) and the worker counts.
+//! Non-deterministic by construction (it measures wall time); everything
+//! else in the harness stays deterministic.
+
+use nostop_baselines::BayesOpt;
+use nostop_bench::driver::{
+    make_system, measure_config, nostop_config, paper_rate, run_nostop, run_tuner,
+};
+use nostop_bench::parallel::{grid, jobs, map_cells};
+use nostop_core::system::StreamingSystem;
+use nostop_datagen::rate::ConstantRate;
+use nostop_simcore::json::{self, Json};
+use nostop_simcore::SimDuration;
+use nostop_workloads::WorkloadKind;
+use spark_sim::{EngineParams, SimSystem, StreamConfig, StreamingEngine};
+use std::time::Instant;
+
+const ENGINE_BATCHES: usize = 300;
+const DRIVER_SEEDS: [u64; 2] = [11, 22];
+const FIG8_ROUNDS: u64 = 12;
+const BO_ITERATIONS: usize = 15;
+
+fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// One engine-matrix cell: simulate `ENGINE_BATCHES` batches at a fixed
+/// configuration and return the simulated virtual seconds covered.
+fn run_engine_cell(kind: WorkloadKind, interval_s: f64, executors: u32) -> f64 {
+    let engine = StreamingEngine::new(
+        EngineParams::paper(kind, 7),
+        StreamConfig::new(SimDuration::from_secs_f64(interval_s), executors),
+        Box::new(ConstantRate::new(match kind {
+            WorkloadKind::LogisticRegression | WorkloadKind::LinearRegression => 10_000.0,
+            _ => 120_000.0,
+        })),
+    );
+    let mut sys = SimSystem::new(engine);
+    let mut virtual_s = 0.0;
+    for _ in 0..ENGINE_BATCHES {
+        virtual_s += sys.next_batch().interval_s;
+    }
+    virtual_s
+}
+
+/// A fig7-shaped driver cell: measure the default configuration, then a
+/// short managed run. Much smaller than the real fig7 cell but the same
+/// code path (engine + controller + measurement protocol).
+fn fig7_style_cell(kind: WorkloadKind, seed: u64) -> f64 {
+    let mut sys = make_system(kind, seed, paper_rate(kind, seed ^ 0xDEF));
+    let default = measure_config(&mut sys, &[20.5, 10.0], 8, 15)
+        .end_to_end
+        .mean;
+    let (run, _) = run_nostop(kind, seed, FIG8_ROUNDS);
+    default + run.virtual_time_s
+}
+
+/// A fig8-shaped driver cell: a short SPSA run plus a short BO run.
+fn fig8_style_cell(kind: WorkloadKind, seed: u64) -> f64 {
+    let (run, _) = run_nostop(kind, seed, FIG8_ROUNDS);
+    let mut sys = make_system(kind, seed, paper_rate(kind, seed ^ 0x0B0));
+    let mut tuner = BayesOpt::new(nostop_config(kind).space, seed);
+    let bo = run_tuner(&mut tuner, &mut sys, BO_ITERATIONS);
+    run.virtual_time_s + bo.virtual_time_s
+}
+
+/// Time one driver grid at a given worker count; returns `(wall_ms, sum)`
+/// where the sum pins the work against dead-code elimination and lets the
+/// two passes assert they computed the same thing.
+fn time_grid(jobs_env: usize, cell: impl Fn(WorkloadKind, u64) -> f64 + Sync) -> (f64, f64) {
+    std::env::set_var("NOSTOP_JOBS", jobs_env.to_string());
+    let cells = grid(&WorkloadKind::ALL, &DRIVER_SEEDS);
+    let (results, wall) = time_ms(|| map_cells(&cells, |&(kind, seed)| cell(kind, seed)));
+    (wall, results.iter().sum())
+}
+
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn main() {
+    let configured_jobs = jobs();
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // --- Layer 1: engine matrix, single-threaded ---
+    let matrix: [(WorkloadKind, f64, u32); 6] = [
+        (WorkloadKind::LogisticRegression, 15.0, 14),
+        (WorkloadKind::LinearRegression, 15.0, 14),
+        (WorkloadKind::WordCount, 15.0, 8),
+        (WorkloadKind::PageAnalyze, 15.0, 8),
+        (WorkloadKind::WordCount, 2.0, 8),
+        (WorkloadKind::WordCount, 40.0, 8),
+    ];
+    let mut engine_rows = Vec::new();
+    for &(kind, interval, executors) in &matrix {
+        let (virtual_s, wall) = time_ms(|| run_engine_cell(kind, interval, executors));
+        engine_rows.push(json::obj(vec![
+            ("workload", json::str(kind.name())),
+            ("interval_s", json::num(interval)),
+            ("executors", json::uint(executors as u64)),
+            ("batches", json::uint(ENGINE_BATCHES as u64)),
+            ("wall_ms", json::num(wall)),
+            (
+                "sim_batches_per_s",
+                json::num(ENGINE_BATCHES as f64 / (wall / 1e3)),
+            ),
+            ("virtual_s_simulated", json::num(virtual_s)),
+        ]));
+    }
+
+    // --- Layer 2: driver grids, serial vs parallel ---
+    let mut driver_rows = Vec::new();
+    for (name, cell) in [
+        (
+            "fig7_style",
+            &fig7_style_cell as &(dyn Fn(WorkloadKind, u64) -> f64 + Sync),
+        ),
+        ("fig8_style", &fig8_style_cell),
+    ] {
+        let (serial_ms, serial_sum) = time_grid(1, cell);
+        let (parallel_ms, parallel_sum) = time_grid(configured_jobs, cell);
+        assert_eq!(
+            serial_sum.to_bits(),
+            parallel_sum.to_bits(),
+            "fabric determinism violated in {name}"
+        );
+        driver_rows.push(json::obj(vec![
+            ("grid", json::str(name)),
+            (
+                "cells",
+                json::uint((WorkloadKind::ALL.len() * DRIVER_SEEDS.len()) as u64),
+            ),
+            ("serial_wall_ms", json::num(serial_ms)),
+            ("parallel_wall_ms", json::num(parallel_ms)),
+            ("parallel_jobs", json::uint(configured_jobs as u64)),
+            ("speedup", json::num(serial_ms / parallel_ms)),
+        ]));
+    }
+
+    let report = json::obj(vec![
+        ("schema", json::str("nostop-perf/1")),
+        ("configured_jobs", json::uint(configured_jobs as u64)),
+        ("available_parallelism", json::uint(parallelism as u64)),
+        ("engine_matrix", Json::Arr(engine_rows)),
+        ("driver_grids", Json::Arr(driver_rows)),
+        (
+            "peak_rss_kb",
+            peak_rss_kb().map(json::uint).unwrap_or(Json::Null),
+        ),
+    ]);
+
+    let text = report.to_string_pretty();
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_perf.json".to_string());
+    std::fs::write(&path, format!("{text}\n")).expect("write BENCH_perf.json");
+    println!("{text}");
+    eprintln!("wrote {path}");
+}

@@ -13,13 +13,16 @@ use nostop_simcore::SimRng;
 use nostop_workloads::WorkloadKind;
 use spark_sim::{EngineParams, SimSystem, StreamConfig, StreamingEngine};
 
-/// The ρ cap used when scoring configurations uniformly across methods.
-pub const RHO_CAP: f64 = 2.0;
+/// The ρ cap used when scoring configurations uniformly across methods —
+/// the same constant the controller's penalty schedule saturates at, so
+/// there is a single source of truth for Eq. 3's cap.
+pub use nostop_core::objective::RHO_CAP;
 
-/// Stability headroom used in the method-agnostic score — matches
-/// `NoStopConfig::stability_headroom` so baseline tuners optimize the same
-/// robust objective NoStop ranks configurations by.
-pub const HEADROOM: f64 = 0.85;
+/// Stability headroom used in the method-agnostic score — re-exported from
+/// `nostop_core::objective` (where `NoStopConfig::paper_default` also reads
+/// it) so baseline tuners optimize the same robust objective NoStop ranks
+/// configurations by.
+pub use nostop_core::objective::STABILITY_HEADROOM as HEADROOM;
 
 /// The paper's varying-rate process for a workload (Fig. 5 ranges,
 /// redrawn every 30 s).

@@ -23,4 +23,5 @@
 //! | `ablation_reset` | §5.5 — input-rate reset rule |
 
 pub mod driver;
+pub mod parallel;
 pub mod report;

@@ -18,18 +18,18 @@
 //! Exactly **two** reconfigurations happen per optimization round,
 //! regardless of how many parameters are tuned — SPSA's defining economy.
 
-use crate::objective::PenaltySchedule;
+use crate::objective::{PenaltySchedule, STABILITY_HEADROOM};
 use crate::policy::{PauseRule, ResetRule, WindowPolicy};
 use crate::sa::{AdaptiveSpsa, AdaptiveSpsaParams, Spsa, SpsaParams};
-use crate::space::ConfigSpace;
+use crate::space::{ConfigSpace, ParamSpec};
 use crate::system::{BatchObservation, Measurement, StreamingSystem};
 use crate::trace::{RoundKind, RoundRecord, Trace};
 use crate::GainSchedule;
+use nostop_simcore::json::{self, Json};
 use nostop_simcore::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// Everything configurable about the controller, with paper defaults.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NoStopConfig {
     /// The tunable parameter space (physical ranges + scaling).
     pub space: ConfigSpace,
@@ -105,7 +105,7 @@ impl NoStopConfig {
             measure_scan_cap: 15,
             max_step_scaled: Some(19.0 / 4.0),
             optimizer: OptimizerKind::FirstOrder,
-            stability_headroom: 0.85,
+            stability_headroom: STABILITY_HEADROOM,
         }
     }
 
@@ -122,10 +122,176 @@ impl NoStopConfig {
         self.reset_relative = true;
         self
     }
+
+    /// Serialize for operator persistence (pretty JSON, fixed key order).
+    pub fn to_json(&self) -> String {
+        let params: Vec<Json> = self
+            .space
+            .params
+            .iter()
+            .map(|p| {
+                json::obj(vec![
+                    ("name", json::str(p.name.clone())),
+                    ("min", json::num(p.min)),
+                    ("max", json::num(p.max)),
+                    ("quantum", json::num(p.quantum)),
+                ])
+            })
+            .collect();
+        json::obj(vec![
+            (
+                "space",
+                json::obj(vec![
+                    ("params", Json::Arr(params)),
+                    ("scaledLo", json::num(self.space.scaled_lo)),
+                    ("scaledHi", json::num(self.space.scaled_hi)),
+                ]),
+            ),
+            (
+                "gains",
+                json::obj(vec![
+                    ("a", json::num(self.gains.a)),
+                    ("bigA", json::num(self.gains.big_a)),
+                    ("c", json::num(self.gains.c)),
+                    ("alpha", json::num(self.gains.alpha)),
+                    ("gamma", json::num(self.gains.gamma)),
+                ]),
+            ),
+            (
+                "thetaInitialScaled",
+                json::f64_array(&self.theta_initial_scaled),
+            ),
+            (
+                "penalty",
+                json::obj(vec![
+                    ("rho", json::num(self.penalty.rho())),
+                    ("rhoInit", json::num(self.penalty.rho_init)),
+                    ("rhoStep", json::num(self.penalty.rho_step)),
+                    ("rhoMax", json::num(self.penalty.rho_max)),
+                ]),
+            ),
+            ("pauseNBest", json::uint(self.pause_n_best as u64)),
+            ("pauseThresholdS", json::num(self.pause_threshold_s)),
+            ("resetThresholdSpeed", json::num(self.reset_threshold_speed)),
+            ("resetRelative", Json::Bool(self.reset_relative)),
+            (
+                "resetLevelFraction",
+                match self.reset_level_fraction {
+                    Some(f) => json::num(f),
+                    None => Json::Null,
+                },
+            ),
+            ("resetWindow", json::uint(self.reset_window as u64)),
+            ("settleBatches", json::uint(self.settle_batches as u64)),
+            (
+                "measureMinBatches",
+                json::uint(self.measure_min_batches as u64),
+            ),
+            (
+                "measureMaxBatches",
+                json::uint(self.measure_max_batches as u64),
+            ),
+            (
+                "unpauseInstabilityFactor",
+                json::num(self.unpause_instability_factor),
+            ),
+            ("measureScanCap", json::uint(self.measure_scan_cap as u64)),
+            (
+                "maxStepScaled",
+                match self.max_step_scaled {
+                    Some(s) => json::num(s),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "optimizer",
+                json::str(match self.optimizer {
+                    OptimizerKind::FirstOrder => "firstOrder",
+                    OptimizerKind::SecondOrder => "secondOrder",
+                }),
+            ),
+            ("stabilityHeadroom", json::num(self.stability_headroom)),
+        ])
+        .to_string_pretty()
+    }
+
+    /// Restore a configuration persisted by [`NoStopConfig::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, json::Error> {
+        let v = Json::parse(text)?;
+        let missing = |key: &str| json::Error {
+            at: 0,
+            msg: format!("missing field `{key}`"),
+        };
+        let sv = v.get("space").ok_or_else(|| missing("space"))?;
+        let params = sv
+            .field_array("params")?
+            .iter()
+            .map(|p| {
+                Ok(ParamSpec::new(
+                    p.field_str("name")?,
+                    p.field_f64("min")?,
+                    p.field_f64("max")?,
+                    p.field_f64("quantum")?,
+                ))
+            })
+            .collect::<Result<Vec<_>, json::Error>>()?;
+        let space = ConfigSpace::new(params, sv.field_f64("scaledLo")?, sv.field_f64("scaledHi")?);
+        let gv = v.get("gains").ok_or_else(|| missing("gains"))?;
+        let gains = GainSchedule {
+            a: gv.field_f64("a")?,
+            big_a: gv.field_f64("bigA")?,
+            c: gv.field_f64("c")?,
+            alpha: gv.field_f64("alpha")?,
+            gamma: gv.field_f64("gamma")?,
+        };
+        let pv = v.get("penalty").ok_or_else(|| missing("penalty"))?;
+        let penalty = PenaltySchedule::restore(
+            pv.field_f64("rhoInit")?,
+            pv.field_f64("rhoStep")?,
+            pv.field_f64("rhoMax")?,
+            pv.field_f64("rho")?,
+        );
+        let opt_null = |key: &str| -> Result<Option<f64>, json::Error> {
+            match v.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(_) => v.field_f64(key).map(Some),
+            }
+        };
+        let optimizer = match v.field_str("optimizer")? {
+            "firstOrder" => OptimizerKind::FirstOrder,
+            "secondOrder" => OptimizerKind::SecondOrder,
+            other => {
+                return Err(json::Error {
+                    at: 0,
+                    msg: format!("unknown optimizer `{other}`"),
+                })
+            }
+        };
+        Ok(NoStopConfig {
+            space,
+            gains,
+            theta_initial_scaled: v.field_f64_array("thetaInitialScaled")?,
+            penalty,
+            pause_n_best: v.field_u64("pauseNBest")? as usize,
+            pause_threshold_s: v.field_f64("pauseThresholdS")?,
+            reset_threshold_speed: v.field_f64("resetThresholdSpeed")?,
+            reset_relative: v.field_bool("resetRelative")?,
+            reset_level_fraction: opt_null("resetLevelFraction")?,
+            reset_window: v.field_u64("resetWindow")? as usize,
+            settle_batches: v.field_u64("settleBatches")? as usize,
+            measure_min_batches: v.field_u64("measureMinBatches")? as usize,
+            measure_max_batches: v.field_u64("measureMaxBatches")? as usize,
+            unpause_instability_factor: v.field_f64("unpauseInstabilityFactor")?,
+            measure_scan_cap: v.field_u64("measureScanCap")? as usize,
+            max_step_scaled: opt_null("maxStepScaled")?,
+            optimizer,
+            stability_headroom: v.field_f64("stabilityHeadroom")?,
+        })
+    }
 }
 
 /// The stochastic-approximation engine behind the controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OptimizerKind {
     /// The paper's 1SPSA: two measurements per round.
     FirstOrder,
@@ -138,7 +304,7 @@ pub enum OptimizerKind {
 }
 
 /// What one controller round did (the caller-visible summary).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RoundOutcome {
     /// A full SPSA iteration completed.
     Optimized {

@@ -9,45 +9,35 @@
 //! path is identical in both deployments.
 
 use crate::system::BatchObservation;
-use serde::{Deserialize, Serialize};
+use nostop_simcore::json::{self, Json};
 
 /// A listener status report for one completed batch, in the JSON shape a
 /// `StreamingListener.onBatchCompleted` hook would emit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StatusReport {
     /// Batch sequence number.
-    #[serde(rename = "batchId")]
     pub batch_id: u64,
     /// Batch submission time, epoch-relative milliseconds.
-    #[serde(rename = "submissionTimeMs")]
     pub submission_time_ms: u64,
     /// Processing start time, milliseconds.
-    #[serde(rename = "processingStartTimeMs")]
     pub processing_start_time_ms: u64,
     /// Processing end time, milliseconds.
-    #[serde(rename = "processingEndTimeMs")]
     pub processing_end_time_ms: u64,
     /// Records in the batch.
-    #[serde(rename = "numRecords")]
     pub num_records: u64,
     /// Records that *arrived* at the source during the ingest window
     /// (differs from `numRecords` while draining a backlog). Optional on
     /// the wire; 0 means "same as numRecords".
-    #[serde(rename = "arrivedRecords", default)]
     pub arrived_records: u64,
     /// The batch interval in force, milliseconds.
-    #[serde(rename = "batchIntervalMs")]
     pub batch_interval_ms: u64,
     /// Actual receiver ingest window for this batch, milliseconds (equals
     /// the interval except for the first batch after an interval change).
     /// Optional on the wire; 0 means "use the interval".
-    #[serde(rename = "ingestWindowMs", default)]
     pub ingest_window_ms: u64,
     /// Live executor count.
-    #[serde(rename = "numExecutors")]
     pub num_executors: u32,
     /// Batches waiting in the queue at completion time.
-    #[serde(rename = "queuedBatches")]
     pub queued_batches: u32,
 }
 
@@ -93,14 +83,45 @@ impl StatusReport {
         }
     }
 
-    /// Serialize to the JSON wire format.
+    /// Serialize to the JSON wire format (camelCase keys, fixed key order).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("status serialization cannot fail")
+        json::obj(vec![
+            ("batchId", json::uint(self.batch_id)),
+            ("submissionTimeMs", json::uint(self.submission_time_ms)),
+            (
+                "processingStartTimeMs",
+                json::uint(self.processing_start_time_ms),
+            ),
+            (
+                "processingEndTimeMs",
+                json::uint(self.processing_end_time_ms),
+            ),
+            ("numRecords", json::uint(self.num_records)),
+            ("arrivedRecords", json::uint(self.arrived_records)),
+            ("batchIntervalMs", json::uint(self.batch_interval_ms)),
+            ("ingestWindowMs", json::uint(self.ingest_window_ms)),
+            ("numExecutors", json::uint(self.num_executors as u64)),
+            ("queuedBatches", json::uint(self.queued_batches as u64)),
+        ])
+        .to_string()
     }
 
-    /// Parse from the JSON wire format.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Parse from the JSON wire format. `arrivedRecords` and
+    /// `ingestWindowMs` are optional on the wire and default to 0.
+    pub fn from_json(text: &str) -> Result<Self, json::Error> {
+        let v = Json::parse(text)?;
+        Ok(StatusReport {
+            batch_id: v.field_u64("batchId")?,
+            submission_time_ms: v.field_u64("submissionTimeMs")?,
+            processing_start_time_ms: v.field_u64("processingStartTimeMs")?,
+            processing_end_time_ms: v.field_u64("processingEndTimeMs")?,
+            num_records: v.field_u64("numRecords")?,
+            arrived_records: v.field_u64_or_zero("arrivedRecords")?,
+            batch_interval_ms: v.field_u64("batchIntervalMs")?,
+            ingest_window_ms: v.field_u64_or_zero("ingestWindowMs")?,
+            num_executors: v.field_u64("numExecutors")? as u32,
+            queued_batches: v.field_u64("queuedBatches")? as u32,
+        })
     }
 }
 

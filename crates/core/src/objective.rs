@@ -14,10 +14,20 @@
 //! expensive — but capped, lest the penalty drown the minimization goal.
 //! Algorithm 1 ramps ρ from 1 by 0.1 per iteration to a cap of 2.
 
-use serde::{Deserialize, Serialize};
+/// The cap of the paper's ρ ramp — also the coefficient used when *ranking*
+/// configurations intrinsically (the bench driver's scoring metric), so that
+/// ranking and optimization penalize instability identically.
+pub const RHO_CAP: f64 = 2.0;
+
+/// The stability headroom fraction used when ranking configurations:
+/// processing time must fit within this fraction of the interval before a
+/// configuration counts as cleanly stable. Shared by
+/// [`crate::NoStopConfig::paper_default`] and the bench driver's intrinsic
+/// scoring, so there is one source of truth for "comfortably stable".
+pub const STABILITY_HEADROOM: f64 = 0.85;
 
 /// The ρ penalty schedule of Algorithm 1.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PenaltySchedule {
     /// Current penalty coefficient.
     rho: f64,
@@ -36,8 +46,16 @@ impl PenaltySchedule {
             rho: 1.0,
             rho_init: 1.0,
             rho_step: 0.1,
-            rho_max: 2.0,
+            rho_max: RHO_CAP,
         }
+    }
+
+    /// Rebuild a schedule mid-ramp — used when restoring a serialized
+    /// configuration. `current` is clamped into `[init, max]`.
+    pub fn restore(init: f64, step: f64, max: f64, current: f64) -> Self {
+        let mut p = PenaltySchedule::new(init, step, max);
+        p.rho = current.clamp(init, max);
+        p
     }
 
     /// A custom schedule; panics unless `0 < init ≤ max` and `step ≥ 0`.

@@ -5,11 +5,10 @@
 //! process." The paper's experiments use `N = 10`, `S = 1` (§6.2.1).
 
 use nostop_simcore::stats::summarize;
-use serde::{Deserialize, Serialize};
 
 /// Tracks the N best (lowest-delay) configurations seen in the current
 /// optimization episode and decides when improvement has stalled.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PauseRule {
     /// How many best configurations to track (paper: 10).
     pub n_best: usize,

@@ -7,11 +7,10 @@
 //! (`k ← 0, θ ← θ_initial, ρ ← ρ_init`) and restart the optimization.
 
 use nostop_simcore::stats::{Ewma, RollingStats};
-use serde::{Deserialize, Serialize};
 
 /// Watches recent input rates and fires when their variability signals a
 /// regime change.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ResetRule {
     /// Std-dev threshold: records/second when `relative` is false, a
     /// fraction of the windowed mean rate when true.

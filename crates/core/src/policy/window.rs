@@ -12,10 +12,8 @@
 //!    going blind to genuine regime changes. When active optimization
 //!    resumes, the window snaps back to its minimum so rounds stay cheap.
 
-use serde::{Deserialize, Serialize};
-
 /// Governs how many batches feed one performance measurement.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WindowPolicy {
     /// Batches to skip after each reconfiguration (paper: the first one).
     pub skip_after_change: usize,

@@ -15,10 +15,9 @@
 
 use super::gains::GainSchedule;
 use super::spsa::clamp;
-use serde::{Deserialize, Serialize};
 
 /// FDSA construction parameters (same shape as SPSA's).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FdsaParams {
     /// Gain sequences; the same convergence conditions apply.
     pub gains: GainSchedule,

@@ -18,10 +18,8 @@
 //! [`GainSchedule::check_conditions`] verifies all of these symbolically —
 //! this is the machine-checkable half of the paper's §4.2.4 argument.
 
-use serde::{Deserialize, Serialize};
-
 /// The `(a, A, c, alpha, gamma)` gain parameterization.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GainSchedule {
     /// Numerator of the step-size sequence `a_k`.
     pub a: f64,
@@ -102,7 +100,7 @@ impl Default for GainSchedule {
 }
 
 /// Per-condition verdicts from [`GainSchedule::check_conditions`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ConditionReport {
     /// `a, c > 0` and `A ≥ 0`.
     pub positive: bool,

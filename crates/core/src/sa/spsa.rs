@@ -18,10 +18,9 @@
 use super::gains::GainSchedule;
 use super::perturb::{BernoulliPerturbation, Perturbation};
 use nostop_simcore::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// SPSA construction parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SpsaParams {
     /// Gain sequences; must satisfy the convergence conditions.
     pub gains: GainSchedule,
@@ -65,7 +64,7 @@ impl SpsaParams {
 
 /// A pending iteration: evaluate the objective at both points, then call
 /// [`Spsa::update`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Proposal {
     /// Iteration index this proposal belongs to (0-based).
     pub k: u64,
@@ -82,7 +81,7 @@ pub struct Proposal {
 }
 
 /// The outcome of one completed iteration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StepInfo {
     /// Iteration index (0-based).
     pub k: u64,

@@ -7,10 +7,8 @@
 //! quantized only at the system boundary: executor counts to integers,
 //! batch intervals to a configurable step.
 
-use serde::{Deserialize, Serialize};
-
 /// One tunable physical parameter.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParamSpec {
     /// Human-readable name (e.g. `"batch-interval-s"`).
     pub name: String,
@@ -49,7 +47,7 @@ impl ParamSpec {
 }
 
 /// A set of tunable parameters with a shared scaled optimization range.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConfigSpace {
     /// The physical parameters, in a fixed order. Index 0 is batch interval
     /// and index 1 is executor count in the paper's instantiation, but the

@@ -8,11 +8,11 @@
 //! Streaming listener endpoint (the only integration possible without JVM
 //! bindings — see DESIGN.md).
 
-use serde::{Deserialize, Serialize};
+use nostop_simcore::json::{self, Json};
 
 /// Metrics for one completed micro-batch, as a streaming listener reports
 /// them.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchObservation {
     /// Completion wall/virtual time, seconds since job start.
     pub completed_at_s: f64,
@@ -45,11 +45,41 @@ impl BatchObservation {
     pub fn is_stable(&self) -> bool {
         self.processing_s <= self.interval_s
     }
+
+    /// Serialize as a JSON object (fixed key order).
+    pub fn to_json(&self) -> String {
+        json::obj(vec![
+            ("completedAtS", json::num(self.completed_at_s)),
+            ("intervalS", json::num(self.interval_s)),
+            ("processingS", json::num(self.processing_s)),
+            ("schedulingDelayS", json::num(self.scheduling_delay_s)),
+            ("records", json::uint(self.records)),
+            ("inputRate", json::num(self.input_rate)),
+            ("numExecutors", json::uint(self.num_executors as u64)),
+            ("queuedBatches", json::uint(self.queued_batches as u64)),
+        ])
+        .to_string()
+    }
+
+    /// Parse from the JSON produced by [`BatchObservation::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, json::Error> {
+        let v = Json::parse(text)?;
+        Ok(BatchObservation {
+            completed_at_s: v.field_f64("completedAtS")?,
+            interval_s: v.field_f64("intervalS")?,
+            processing_s: v.field_f64("processingS")?,
+            scheduling_delay_s: v.field_f64("schedulingDelayS")?,
+            records: v.field_u64("records")?,
+            input_rate: v.field_f64("inputRate")?,
+            num_executors: v.field_u64("numExecutors")? as u32,
+            queued_batches: v.field_u64("queuedBatches")? as u32,
+        })
+    }
 }
 
 /// An averaged measurement over a window of batches — the `y(θ)` SPSA
 /// consumes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Measurement {
     /// The interval in force, seconds (taken from the last batch).
     pub interval_s: f64,
@@ -66,6 +96,30 @@ pub struct Measurement {
 }
 
 impl Measurement {
+    /// Serialize as a [`Json`] value (used inside trace records).
+    pub fn to_json_value(&self) -> Json {
+        json::obj(vec![
+            ("intervalS", json::num(self.interval_s)),
+            ("processingS", json::num(self.processing_s)),
+            ("schedulingDelayS", json::num(self.scheduling_delay_s)),
+            ("endToEndS", json::num(self.end_to_end_s)),
+            ("inputRate", json::num(self.input_rate)),
+            ("batches", json::uint(self.batches as u64)),
+        ])
+    }
+
+    /// Parse from the value produced by [`Measurement::to_json_value`].
+    pub fn from_json_value(v: &Json) -> Result<Self, json::Error> {
+        Ok(Measurement {
+            interval_s: v.field_f64("intervalS")?,
+            processing_s: v.field_f64("processingS")?,
+            scheduling_delay_s: v.field_f64("schedulingDelayS")?,
+            end_to_end_s: v.field_f64("endToEndS")?,
+            input_rate: v.field_f64("inputRate")?,
+            batches: v.field_u64("batches")? as usize,
+        })
+    }
+
     /// Average a window of observations. Panics on an empty window.
     pub fn from_window(window: &[BatchObservation]) -> Self {
         assert!(!window.is_empty(), "cannot measure an empty window");
@@ -147,8 +201,8 @@ mod tests {
     #[test]
     fn observation_serializes_to_json() {
         let b = obs(10.0, 5.0, 0.5);
-        let json = serde_json::to_string(&b).unwrap();
-        let back: BatchObservation = serde_json::from_str(&json).unwrap();
+        let json = b.to_json();
+        let back = BatchObservation::from_json(&json).unwrap();
         assert_eq!(b, back);
     }
 }

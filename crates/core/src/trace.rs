@@ -6,10 +6,10 @@
 //! to count configuration steps and search time for the Fig-8 comparison.
 
 use crate::system::Measurement;
-use serde::{Deserialize, Serialize};
+use nostop_simcore::json::{self, Json};
 
 /// What a controller round did.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RoundKind {
     /// A full SPSA iteration: two perturbed measurements and a step.
     Optimized {
@@ -37,7 +37,7 @@ pub enum RoundKind {
 }
 
 /// One controller round.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundRecord {
     /// Round index (monotonically increasing across resets).
     pub round: u64,
@@ -62,7 +62,7 @@ pub struct RoundRecord {
 }
 
 /// The full trace of a controller run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// Rounds, in order.
     pub rounds: Vec<RoundRecord>,
@@ -147,8 +147,107 @@ impl Trace {
 
     /// Serialize the trace as JSON (one object; pretty-printed).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("trace serialization cannot fail")
+        let rounds: Vec<Json> = self.rounds.iter().map(round_to_json).collect();
+        json::obj(vec![("rounds", Json::Arr(rounds))]).to_string_pretty()
     }
+
+    /// Parse a trace serialized by [`Trace::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, json::Error> {
+        let v = Json::parse(text)?;
+        let rounds = v
+            .field_array("rounds")?
+            .iter()
+            .map(round_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Trace { rounds })
+    }
+}
+
+fn round_to_json(r: &RoundRecord) -> Json {
+    let kind = match &r.kind {
+        RoundKind::Optimized {
+            plus,
+            minus,
+            y_plus,
+            y_minus,
+            grad_norm,
+        } => json::obj(vec![
+            ("kind", json::str("optimized")),
+            ("plus", plus.to_json_value()),
+            ("minus", minus.to_json_value()),
+            ("yPlus", json::num(*y_plus)),
+            ("yMinus", json::num(*y_minus)),
+            ("gradNorm", json::num(*grad_norm)),
+        ]),
+        RoundKind::Paused { observed } => json::obj(vec![
+            ("kind", json::str("paused")),
+            ("observed", observed.to_json_value()),
+        ]),
+        RoundKind::Reset => json::obj(vec![("kind", json::str("reset"))]),
+        RoundKind::Woke => json::obj(vec![("kind", json::str("woke"))]),
+    };
+    json::obj(vec![
+        ("round", json::uint(r.round)),
+        ("k", json::uint(r.k)),
+        ("tS", json::num(r.t_s)),
+        ("thetaScaled", json::f64_array(&r.theta_scaled)),
+        ("thetaPhysical", json::f64_array(&r.theta_physical)),
+        ("rho", json::num(r.rho)),
+        ("aK", json::num(r.a_k)),
+        ("cK", json::num(r.c_k)),
+        ("pausedAfter", Json::Bool(r.paused_after)),
+        ("kind", kind),
+    ])
+}
+
+fn round_from_json(v: &Json) -> Result<RoundRecord, json::Error> {
+    let kv = v.get("kind").ok_or_else(|| json::Error {
+        at: 0,
+        msg: "missing field `kind`".into(),
+    })?;
+    let kind = match kv.field_str("kind")? {
+        "optimized" => RoundKind::Optimized {
+            plus: Measurement::from_json_value(kv.get("plus").ok_or_else(|| json::Error {
+                at: 0,
+                msg: "missing field `plus`".into(),
+            })?)?,
+            minus: Measurement::from_json_value(kv.get("minus").ok_or_else(|| json::Error {
+                at: 0,
+                msg: "missing field `minus`".into(),
+            })?)?,
+            y_plus: kv.field_f64("yPlus")?,
+            y_minus: kv.field_f64("yMinus")?,
+            grad_norm: kv.field_f64("gradNorm")?,
+        },
+        "paused" => RoundKind::Paused {
+            observed: Measurement::from_json_value(kv.get("observed").ok_or_else(|| {
+                json::Error {
+                    at: 0,
+                    msg: "missing field `observed`".into(),
+                }
+            })?)?,
+        },
+        "reset" => RoundKind::Reset,
+        "woke" => RoundKind::Woke,
+        other => {
+            return Err(json::Error {
+                at: 0,
+                msg: format!("unknown round kind `{other}`"),
+            })
+        }
+    };
+    Ok(RoundRecord {
+        round: v.field_u64("round")?,
+        k: v.field_u64("k")?,
+        t_s: v.field_f64("tS")?,
+        theta_scaled: v.field_f64_array("thetaScaled")?,
+        theta_physical: v.field_f64_array("thetaPhysical")?,
+        rho: v.field_f64("rho")?,
+        a_k: v.field_f64("aK")?,
+        c_k: v.field_f64("cK")?,
+        paused_after: v.field_bool("pausedAfter")?,
+        kind,
+    })
 }
 
 #[cfg(test)]
@@ -236,7 +335,7 @@ mod tests {
         let mut t = Trace::new();
         t.push(record(0, optimized(), false));
         let json = t.to_json();
-        let back: Trace = serde_json::from_str(&json).unwrap();
+        let back = Trace::from_json(&json).unwrap();
         assert_eq!(back.rounds, t.rounds);
     }
 }

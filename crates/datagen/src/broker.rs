@@ -13,13 +13,11 @@
 //! [`crate::records::RecordGenerator`] on demand. This keeps simulating a
 //! 230k-records/second stream (the paper's Page Analyze rate) allocation-free.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a partition within the broker.
 pub type PartitionId = usize;
 
 /// Broker construction parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BrokerConfig {
     /// Number of partitions. The paper sets this larger than the cluster's
     /// total core count.
@@ -39,24 +37,28 @@ impl Default for BrokerConfig {
 }
 
 /// Per-partition offset state.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Production is uniform by construction — every partition receives the
+/// *identical* fractional share with the identical carry evolution — so
+/// the produced offset and its carry live once on [`Broker`] instead of
+/// per partition, making `produce` O(1). This matters: the generator
+/// integrates rates in 100 ms steps, so a single batch cut calls
+/// `produce` dozens of times. Only the consumed offset diverges across
+/// partitions (the consume side distributes remainders).
+#[derive(Debug, Clone, Default)]
 struct Partition {
-    produced: u64,
     consumed: u64,
-    /// Fractional record carry from uniform distribution of production.
-    carry: f64,
-}
-
-impl Partition {
-    fn lag(&self) -> u64 {
-        self.produced - self.consumed
-    }
 }
 
 /// A partitioned broker with offset/lag accounting and a consume-rate limit.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Broker {
     partitions: Vec<Partition>,
+    /// Produced offset, identical for every partition (uniform production).
+    produced_per_partition: u64,
+    /// Fractional record carry of the uniform production share, identical
+    /// for every partition.
+    produce_carry: f64,
     max_consume_rate: Option<f64>,
     /// Fractional budget carry for the rate limiter.
     rate_carry: f64,
@@ -71,6 +73,8 @@ impl Broker {
         );
         Broker {
             partitions: vec![Partition::default(); config.partitions],
+            produced_per_partition: 0,
+            produce_carry: 0.0,
             max_consume_rate: config.max_consume_rate,
             rate_carry: 0.0,
         }
@@ -81,26 +85,29 @@ impl Broker {
         self.partitions.len()
     }
 
+    fn lag(&self, p: &Partition) -> u64 {
+        self.produced_per_partition - p.consumed
+    }
+
     /// Produce `count` records, spread uniformly across partitions (the
     /// paper's skew-avoidance rule). Fractional shares carry over so that
-    /// long-run distribution is exactly uniform.
+    /// long-run distribution is exactly uniform. O(1): every partition's
+    /// produced offset advances by the same amount.
     pub fn produce(&mut self, count: u64) {
         if count == 0 {
             return;
         }
         let n = self.partitions.len() as f64;
         let share = count as f64 / n;
-        for p in &mut self.partitions {
-            let want = share + p.carry;
-            let whole = want.floor();
-            p.carry = want - whole;
-            p.produced += whole as u64;
-        }
+        let want = share + self.produce_carry;
+        let whole = want.floor();
+        self.produce_carry = want - whole;
+        self.produced_per_partition += whole as u64;
     }
 
     /// Total records ever produced.
     pub fn total_produced(&self) -> u64 {
-        self.partitions.iter().map(|p| p.produced).sum()
+        self.produced_per_partition * self.partitions.len() as u64
     }
 
     /// Total records ever consumed.
@@ -110,12 +117,12 @@ impl Broker {
 
     /// Records available but not yet consumed, across all partitions.
     pub fn total_lag(&self) -> u64 {
-        self.partitions.iter().map(|p| p.lag()).sum()
+        self.total_produced() - self.total_consumed()
     }
 
     /// Per-partition lag snapshot.
     pub fn partition_lags(&self) -> Vec<u64> {
-        self.partitions.iter().map(|p| p.lag()).collect()
+        self.partitions.iter().map(|p| self.lag(p)).collect()
     }
 
     /// Set (or clear) the consumer-side rate limit in records/second.
@@ -168,20 +175,27 @@ impl Broker {
         }
         // Round-robin by repeatedly taking proportional shares; two passes
         // suffice because lags are near-uniform by construction.
+        let produced = self.produced_per_partition;
         loop {
-            let lagging: Vec<usize> = (0..self.partitions.len())
-                .filter(|&i| self.partitions[i].lag() > 0)
-                .collect();
-            if lagging.is_empty() || remaining == 0 {
+            let lagging = self
+                .partitions
+                .iter()
+                .filter(|p| produced > p.consumed)
+                .count() as u64;
+            if lagging == 0 || remaining == 0 {
                 break;
             }
-            let share = (remaining / lagging.len() as u64).max(1);
-            for &i in &lagging {
+            let share = (remaining / lagging).max(1);
+            for p in &mut self.partitions {
                 if remaining == 0 {
                     break;
                 }
-                let take = share.min(self.partitions[i].lag()).min(remaining);
-                self.partitions[i].consumed += take;
+                let lag = produced - p.consumed;
+                if lag == 0 {
+                    continue;
+                }
+                let take = share.min(lag).min(remaining);
+                p.consumed += take;
                 remaining -= take;
             }
         }

@@ -7,10 +7,9 @@
 //! emits syntactically valid Nginx combined-log-format lines.
 
 use nostop_simcore::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// Which workload a record stream feeds. Mirrors the paper's four workloads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RecordKind {
     /// Labelled points for streaming logistic regression.
     LabelledPoint,
@@ -23,7 +22,7 @@ pub enum RecordKind {
 }
 
 /// One streaming record.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Record {
     /// `(features, label in {0, 1})` for logistic regression.
     LabelledPoint { features: Vec<f64>, label: u8 },

@@ -21,12 +21,14 @@
 //! which is what makes the experiments reproducible bit-for-bit from a seed.
 
 pub mod events;
+pub mod json;
 pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod time;
 
 pub use events::EventQueue;
+pub use json::Json;
 pub use rng::SimRng;
 pub use series::TimeSeries;
 pub use stats::{RollingStats, Summary, Welford};

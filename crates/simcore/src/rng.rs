@@ -1,15 +1,15 @@
 //! Seeded randomness for reproducible experiments.
 //!
-//! [`SimRng`] wraps [`rand::rngs::StdRng`] with the distributions this
-//! workspace needs and deterministic *stream forking*: every subsystem
-//! (receiver noise, task noise, SPSA perturbations, workload iteration
-//! counts, …) forks its own independent stream from one experiment seed, so
-//! adding an RNG consumer to one subsystem never perturbs another.
+//! [`SimRng`] is a self-contained deterministic generator (xoshiro256++
+//! seeded through SplitMix64 — no external dependencies, so the workspace
+//! builds hermetically offline) with the distributions this workspace
+//! needs and deterministic *stream forking*: every subsystem (receiver
+//! noise, task noise, SPSA perturbations, workload iteration counts, …)
+//! forks its own independent stream from one experiment seed, so adding an
+//! RNG consumer to one subsystem never perturbs another.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// SplitMix64 finalizer — used to derive well-mixed child seeds.
+/// SplitMix64 finalizer — used to derive well-mixed child seeds and to
+/// expand one `u64` seed into the generator's 256-bit state.
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -20,7 +20,8 @@ fn splitmix64(mut x: u64) -> u64 {
 /// A deterministic random source with simulation-oriented helpers.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    /// xoshiro256++ state.
+    s: [u64; 4],
     seed: u64,
     /// Cached second output of the last Box–Muller transform.
     spare_normal: Option<f64>,
@@ -29,8 +30,19 @@ pub struct SimRng {
 impl SimRng {
     /// Create a generator from an experiment seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        // Expand the seed with sequential SplitMix64 outputs — the
+        // initialization xoshiro's authors recommend.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            s,
             seed,
             spare_normal: None,
         }
@@ -50,12 +62,58 @@ impl SimRng {
         SimRng::seed_from_u64(child)
     }
 
+    /// The next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next raw 32-bit output (upper half of [`SimRng::next_u64`]).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill a byte slice with random data.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` or `false` with equal probability.
+    fn gen_bool(&mut self) -> bool {
+        // Use the top bit: xoshiro++'s high bits are its best-mixed.
+        self.next_u64() >> 63 == 1
+    }
+
     /// Uniform in `[lo, hi)`. Returns `lo` when the range is empty or inverted.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
         if hi <= lo {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        let x = lo + self.gen_f64() * (hi - lo);
+        // Guard the open upper bound against rounding.
+        if x >= hi {
+            lo.max(hi - (hi - lo) * f64::EPSILON)
+        } else {
+            x
+        }
     }
 
     /// Uniform integer in the inclusive range `[lo, hi]`.
@@ -63,7 +121,21 @@ impl SimRng {
         if hi <= lo {
             return lo;
         }
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo + 1; // hi > lo, so this cannot overflow to 0
+        if span == 0 {
+            // `[0, u64::MAX]`: every output is in range.
+            return self.next_u64();
+        }
+        // Rejection-free multiply-shift (Lemire); the tiny modulo bias of
+        // the plain multiply is corrected by rejecting the biased region.
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(span as u128);
+            if (m as u64) >= threshold {
+                return lo + (m >> 64) as u64;
+            }
+        }
     }
 
     /// A standard-normal draw via the Box–Muller transform.
@@ -72,8 +144,8 @@ impl SimRng {
             return z;
         }
         // Draw u1 in (0, 1] to keep ln(u1) finite.
-        let u1: f64 = 1.0 - self.inner.gen::<f64>();
-        let u2: f64 = self.inner.gen();
+        let u1: f64 = 1.0 - self.gen_f64();
+        let u2: f64 = self.gen_f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.spare_normal = Some(r * theta.sin());
@@ -104,18 +176,18 @@ impl SimRng {
     /// An exponential draw with the given rate (mean `1/rate`).
     pub fn exponential(&mut self, rate: f64) -> f64 {
         assert!(rate > 0.0, "exponential rate must be positive");
-        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        let u: f64 = 1.0 - self.gen_f64();
         -u.ln() / rate
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
     pub fn bernoulli(&mut self, p: f64) -> bool {
-        self.inner.gen::<f64>() < p.clamp(0.0, 1.0)
+        self.gen_f64() < p.clamp(0.0, 1.0)
     }
 
     /// A symmetric Bernoulli ±1 draw — the SPSA perturbation distribution.
     pub fn bernoulli_pm1(&mut self) -> f64 {
-        if self.inner.gen::<bool>() {
+        if self.gen_bool() {
             1.0
         } else {
             -1.0
@@ -132,7 +204,7 @@ impl SimRng {
         let mut k = 0u64;
         let mut p = 1.0;
         loop {
-            p *= self.inner.gen::<f64>();
+            p *= self.gen_f64();
             if p <= l {
                 return k;
             }
@@ -142,26 +214,6 @@ impl SimRng {
                 return k;
             }
         }
-    }
-
-    /// Access the underlying `rand` generator for anything not covered above.
-    pub fn raw(&mut self) -> &mut StdRng {
-        &mut self.inner
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -264,5 +316,25 @@ mod tests {
             let x = r.uniform(2.0, 4.0);
             assert!((2.0..4.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn uniform_u64_covers_the_inclusive_range() {
+        let mut r = SimRng::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let x = r.uniform_u64(2, 7);
+            assert!((2..=7).contains(&x));
+            seen[(x - 2) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values reachable: {seen:?}");
+    }
+
+    #[test]
+    fn fill_bytes_fills_odd_lengths() {
+        let mut r = SimRng::seed_from_u64(4);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
     }
 }

@@ -5,11 +5,10 @@
 
 use crate::stats::{summarize, Summary};
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// A named sequence of `(time, value)` samples.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
     /// Series name (used as the column header).
     pub name: String,

@@ -5,12 +5,11 @@
 //! reset rule watches the standard deviation of recent input rates (§5.5).
 //! Both are built on the utilities here.
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Streaming mean/variance via Welford's algorithm — numerically stable and
 /// O(1) per sample.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Welford {
     n: u64,
     mean: f64,
@@ -92,7 +91,7 @@ impl Welford {
 }
 
 /// A compact summary of a sample set.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Summary {
     /// Number of samples.
     pub n: u64,
@@ -152,7 +151,7 @@ pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
 ///
 /// Used for the input-rate reset rule: push the observed rate of every batch
 /// and compare `std_dev()` against `threshold_speed`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RollingStats {
     cap: usize,
     buf: VecDeque<f64>,
@@ -240,7 +239,7 @@ impl RollingStats {
 }
 
 /// Exponentially weighted moving average.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Ewma {
     alpha: f64,
     value: Option<f64>,

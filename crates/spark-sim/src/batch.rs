@@ -9,11 +9,10 @@
 //! instability of §3.1 materializes.
 
 use nostop_simcore::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A batch cut by the divider, waiting for or undergoing processing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Batch {
     /// Sequence number.
     pub id: u64,

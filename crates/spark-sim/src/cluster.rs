@@ -8,10 +8,8 @@
 //! §1 claims it "tackles hardware heterogeneity in a transparent manner",
 //! and the black-box boundary makes that claim structural.
 
-use serde::{Deserialize, Serialize};
-
 /// Storage class of a node. HDDs pay more for shuffle and sink I/O.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DiskClass {
     /// Solid-state storage.
     Ssd,
@@ -31,7 +29,7 @@ impl DiskClass {
 }
 
 /// One cluster node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeSpec {
     /// Node index (0-based; matches Table 2's "Node ID" minus one).
     pub id: usize,
@@ -48,7 +46,7 @@ pub struct NodeSpec {
 }
 
 /// A cluster of nodes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cluster {
     /// All nodes, masters included.
     pub nodes: Vec<NodeSpec>,

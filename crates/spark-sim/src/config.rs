@@ -1,13 +1,12 @@
 //! The runtime-tunable streaming configuration.
 
 use nostop_simcore::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// The two parameters NoStop tunes (§3.2): batch interval and executor
 /// count. Both are changeable while the application runs — batch interval
 /// through the paper's "system modification", executors through Spark's
 /// dynamic executor allocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamConfig {
     /// The batch interval: how much wall time each micro-batch spans.
     pub batch_interval: SimDuration,

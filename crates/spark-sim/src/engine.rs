@@ -22,7 +22,7 @@ use crate::config::StreamConfig;
 use crate::executor::ExecutorManager;
 use crate::metrics::{BatchMetrics, Listener};
 use crate::noise::{NoiseModel, NoiseParams};
-use crate::scheduler::{simulate_job, Speculation};
+use crate::scheduler::{simulate_job, JobScratch, Speculation};
 use nostop_datagen::broker::{Broker, BrokerConfig};
 use nostop_datagen::rate::RateProcess;
 use nostop_datagen::StreamGenerator;
@@ -63,6 +63,12 @@ pub struct EngineParams {
     /// Speculative execution (Spark's `spark.speculation`); `None` = off,
     /// matching Spark's default.
     pub speculation: Option<Speculation>,
+    /// Completed-batch metrics the listener retains (the memory bound for
+    /// long runs). Whole-run aggregates (Welford summaries, stable
+    /// fraction counters) are unaffected; only per-batch records older
+    /// than the window are dropped. Callers polling `drain_completed`
+    /// must do so within this many batches or lose the evicted ones.
+    pub metrics_window: usize,
     /// Master seed; all internal streams fork from it.
     pub seed: u64,
 }
@@ -82,6 +88,7 @@ impl EngineParams {
             max_catchup_factor: 3.0,
             noise: NoiseParams::default(),
             speculation: None,
+            metrics_window: Listener::DEFAULT_WINDOW,
             seed,
         }
     }
@@ -128,8 +135,11 @@ pub struct StreamingEngine {
     /// Records that arrived at the broker since the last successful cut.
     arrived_since_cut: u64,
     listener: Listener,
-    /// Cursor for `drain_completed`.
-    drained: usize,
+    /// Absolute-index cursor for `drain_completed` (counts all completed
+    /// batches ever, so it survives listener-window eviction).
+    drained: u64,
+    /// Reusable buffers for the per-job scheduling hot loop.
+    scratch: JobScratch,
 }
 
 impl StreamingEngine {
@@ -149,6 +159,7 @@ impl StreamingEngine {
         let noise = NoiseModel::new(params.noise, params.cluster.nodes.len(), root.fork(1));
         let job_rng = root.fork(2);
         let next_cut = SimTime::ZERO + initial.batch_interval;
+        let metrics_window = params.metrics_window;
         StreamingEngine {
             params,
             cost,
@@ -165,8 +176,9 @@ impl StreamingEngine {
             next_cut,
             last_cut: SimTime::ZERO,
             arrived_since_cut: 0,
-            listener: Listener::new(),
+            listener: Listener::with_window(metrics_window),
             drained: 0,
+            scratch: JobScratch::new(),
         }
     }
 
@@ -240,9 +252,13 @@ impl StreamingEngine {
     }
 
     /// Completed-batch metrics not yet drained by the caller.
+    ///
+    /// The cursor is an absolute batch count, so it stays correct across
+    /// listener-window eviction; batches evicted before being drained
+    /// (the caller waited more than `metrics_window` batches) are lost.
     pub fn drain_completed(&mut self) -> Vec<BatchMetrics> {
-        let new = self.listener.history()[self.drained..].to_vec();
-        self.drained = self.listener.history().len();
+        let new = self.listener.since(self.drained).to_vec();
+        self.drained = self.listener.completed();
         new
     }
 
@@ -339,6 +355,7 @@ impl StreamingEngine {
             &mut self.noise,
             stages,
             self.params.speculation,
+            &mut self.scratch,
         );
         self.running = Some(RunningJob {
             batch,

@@ -11,10 +11,9 @@
 
 use crate::cluster::{Cluster, DiskClass};
 use nostop_simcore::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One live (or launching) executor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Executor {
     /// Unique id (monotonic across the run).
     pub id: u64,

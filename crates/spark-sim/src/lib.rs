@@ -53,4 +53,5 @@ pub use config::StreamConfig;
 pub use engine::{EngineParams, StreamingEngine};
 pub use metrics::{BatchMetrics, Listener};
 pub use noise::NoiseParams;
+pub use scheduler::{JobResult, JobScratch, Speculation};
 pub use threaded::RemoteSystem;

@@ -11,10 +11,9 @@ use nostop_core::listener::StatusReport;
 use nostop_core::system::BatchObservation;
 use nostop_simcore::stats::Summary;
 use nostop_simcore::{SimDuration, SimTime, Welford};
-use serde::{Deserialize, Serialize};
 
 /// Metrics for one completed batch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchMetrics {
     /// Batch sequence number.
     pub batch_id: u64,
@@ -134,35 +133,94 @@ impl BatchMetrics {
     }
 }
 
-/// Retains completed-batch history and aggregates.
-#[derive(Debug, Clone, Default)]
+/// Retains a bounded window of completed-batch history plus whole-run
+/// aggregates.
+///
+/// The per-batch history is the only per-batch state in the engine; left
+/// unbounded it grows without limit on long runs (a 12-hour fig-7 sweep
+/// completes hundreds of thousands of batches). The listener therefore
+/// keeps a sliding window of the most recent `window` batches, compacting
+/// amortized-O(1): the backing `Vec` holds at most `2 × window` entries
+/// and drops the oldest `window` in one `memmove` when it fills. Whole-run
+/// aggregates — Welford summaries, `completed()`, `stable_fraction()` —
+/// count every batch ever completed and are unaffected by eviction.
+#[derive(Debug, Clone)]
 pub struct Listener {
+    /// Retained batches, oldest first (the most recent `≤ 2 × window`).
     history: Vec<BatchMetrics>,
+    /// Retention target; memory is bounded by `2 × window` entries.
+    window: usize,
+    /// Batches dropped off the front of `history` so far.
+    evicted: u64,
+    /// Batches (ever) that met the stability constraint.
+    stable: u64,
     processing: Welford,
     scheduling: Welford,
 }
 
+impl Default for Listener {
+    fn default() -> Self {
+        Listener::with_window(Listener::DEFAULT_WINDOW)
+    }
+}
+
 impl Listener {
-    /// An empty listener.
+    /// Default retention window, in batches. Sized so every experiment in
+    /// the paper (hours of virtual time at multi-second intervals) retains
+    /// its full history, while unbounded runs stay bounded.
+    pub const DEFAULT_WINDOW: usize = 16_384;
+
+    /// An empty listener with the default retention window.
     pub fn new() -> Self {
         Listener::default()
     }
 
-    /// Record a completed batch.
+    /// An empty listener retaining at least the `window` most recent
+    /// batches (`window` is clamped to ≥ 1).
+    pub fn with_window(window: usize) -> Self {
+        Listener {
+            history: Vec::new(),
+            window: window.max(1),
+            evicted: 0,
+            stable: 0,
+            processing: Welford::default(),
+            scheduling: Welford::default(),
+        }
+    }
+
+    /// Record a completed batch, evicting the oldest window when full.
     pub fn on_batch_completed(&mut self, m: BatchMetrics) {
         self.processing.push(m.processing_time().as_secs_f64());
         self.scheduling.push(m.scheduling_delay().as_secs_f64());
+        if m.is_stable() {
+            self.stable += 1;
+        }
+        if self.history.len() >= self.window * 2 {
+            self.history.drain(..self.window);
+            self.evicted += self.window as u64;
+        }
         self.history.push(m);
     }
 
-    /// All completed batches, in completion order.
+    /// The retained batches, in completion order — the full history until
+    /// `completed()` exceeds the window, the most recent slice after.
     pub fn history(&self) -> &[BatchMetrics] {
         &self.history
     }
 
-    /// Completed batch count.
+    /// Batches completed over the whole run (including evicted ones).
     pub fn completed(&self) -> u64 {
-        self.history.len() as u64
+        self.evicted + self.history.len() as u64
+    }
+
+    /// Retained batches from absolute batch index `from` (0 = the first
+    /// batch ever) onward. Batches evicted before `from` was reached are
+    /// gone; the slice starts at the oldest retained batch in that case.
+    pub fn since(&self, from: u64) -> &[BatchMetrics] {
+        let idx = from
+            .saturating_sub(self.evicted)
+            .min(self.history.len() as u64) as usize;
+        &self.history[idx..]
     }
 
     /// The `n` most recent batches.
@@ -186,12 +244,14 @@ impl Listener {
         self.scheduling.summary()
     }
 
-    /// Fraction of completed batches that met the stability constraint.
+    /// Fraction of all completed batches (whole run, including evicted
+    /// ones) that met the stability constraint.
     pub fn stable_fraction(&self) -> f64 {
-        if self.history.is_empty() {
+        let total = self.completed();
+        if total == 0 {
             return 1.0;
         }
-        self.history.iter().filter(|m| m.is_stable()).count() as f64 / self.history.len() as f64
+        self.stable as f64 / total as f64
     }
 }
 
@@ -287,5 +347,102 @@ mod tests {
         assert!(l.last().is_none());
         assert_eq!(l.stable_fraction(), 1.0);
         assert_eq!(l.recent(5).len(), 0);
+    }
+
+    /// A stable batch with a distinguishing id.
+    fn batch(id: u64) -> BatchMetrics {
+        let t = id as f64 * 10.0;
+        let mut m = metrics(t, t, t + 8.0, 10.0);
+        m.batch_id = id;
+        m
+    }
+
+    #[test]
+    fn window_cap_evicts_oldest_batches() {
+        let mut l = Listener::with_window(4);
+        for id in 0..20 {
+            l.on_batch_completed(batch(id));
+            assert!(l.history().len() <= 8, "backing store exceeded 2x window");
+        }
+        assert_eq!(l.completed(), 20);
+        // The retained slice is a contiguous suffix ending at the newest.
+        let ids: Vec<u64> = l.history().iter().map(|m| m.batch_id).collect();
+        assert_eq!(l.last().unwrap().batch_id, 19);
+        let oldest = 20 - ids.len() as u64;
+        assert_eq!(ids, (oldest..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn aggregates_count_evicted_batches() {
+        let mut small = Listener::with_window(2);
+        let mut unbounded = Listener::with_window(1_000);
+        for id in 0..30 {
+            let mut m = batch(id);
+            if id % 3 == 0 {
+                // Every third batch is unstable (processing > interval).
+                m.completed_at = m.started_at + SimDuration::from_secs_f64(12.0);
+            }
+            small.on_batch_completed(m);
+            unbounded.on_batch_completed(m);
+        }
+        // Whole-run aggregates are identical whether or not eviction ran.
+        assert_eq!(small.completed(), unbounded.completed());
+        assert_eq!(small.stable_fraction(), unbounded.stable_fraction());
+        assert_eq!(
+            small.processing_summary().mean,
+            unbounded.processing_summary().mean
+        );
+        assert_eq!(
+            small.scheduling_summary().std_dev,
+            unbounded.scheduling_summary().std_dev
+        );
+        assert!((small.stable_fraction() - 20.0 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn since_cursor_survives_eviction() {
+        let mut l = Listener::with_window(3);
+        for id in 0..4 {
+            l.on_batch_completed(batch(id));
+        }
+        // No eviction yet: an exact incremental drain.
+        assert_eq!(
+            l.since(2).iter().map(|m| m.batch_id).collect::<Vec<_>>(),
+            [2, 3]
+        );
+        let cursor = l.completed(); // 4
+        for id in 4..7 {
+            l.on_batch_completed(batch(id));
+        }
+        // The push of batch 6 evicted batches 0..3, but the cursor is
+        // still within the retained suffix, so the drain stays exact.
+        assert_eq!(l.history().first().unwrap().batch_id, 3);
+        let newer: Vec<u64> = l.since(cursor).iter().map(|m| m.batch_id).collect();
+        assert_eq!(newer, (4..7).collect::<Vec<_>>());
+        for id in 7..10 {
+            l.on_batch_completed(batch(id));
+        }
+        // A cursor older than the retained range degrades to the oldest
+        // retained batch instead of panicking or double-counting.
+        let all: Vec<u64> = l.since(0).iter().map(|m| m.batch_id).collect();
+        assert_eq!(
+            all.first(),
+            l.history().first().map(|m| m.batch_id).as_ref()
+        );
+        // A cursor at (or past) the end yields an empty slice.
+        assert!(l.since(l.completed()).is_empty());
+        assert!(l.since(l.completed() + 5).is_empty());
+    }
+
+    #[test]
+    fn memory_bounded_under_long_run() {
+        let mut l = Listener::with_window(64);
+        for id in 0..100_000u64 {
+            l.on_batch_completed(batch(id));
+        }
+        assert_eq!(l.completed(), 100_000);
+        assert!(l.history().len() <= 128);
+        assert_eq!(l.last().unwrap().batch_id, 99_999);
+        assert!((l.stable_fraction() - 1.0).abs() < 1e-12);
     }
 }

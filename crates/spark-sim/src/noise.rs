@@ -13,10 +13,9 @@
 //!   which its tasks run at a fraction of normal speed.
 
 use nostop_simcore::{SimDuration, SimRng, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Noise model parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoiseParams {
     /// Master switch; `false` makes the simulator deterministic apart from
     /// workload iteration sampling.

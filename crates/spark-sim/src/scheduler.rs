@@ -18,6 +18,7 @@ use nostop_simcore::{SimDuration, SimTime};
 use nostop_workloads::CostModel;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::mem;
 
 /// The outcome of simulating one job.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,12 +68,58 @@ impl Default for Speculation {
     }
 }
 
+/// Reusable buffers for [`simulate_job`]'s hot loop.
+///
+/// Every stage needs a slot heap over the executors and a per-task
+/// duration list; a steady-state engine simulates thousands of jobs, so
+/// allocating those afresh per job dominated the DES profile. The scratch
+/// keeps the backing storage alive across jobs — `simulate_job` clears and
+/// refills it, never shrinking, so steady state runs allocation-free.
+/// Scratch contents carry no state between calls; a fresh
+/// `JobScratch::default()` and a reused one produce identical results.
+#[derive(Debug, Default)]
+pub struct JobScratch {
+    /// Backing storage for the list scheduler's slot heap.
+    slots: Vec<Slot>,
+    /// Per-task durations of the current stage.
+    durations: Vec<u64>,
+    /// Partition buffer for the speculation median.
+    median_buf: Vec<u64>,
+    /// Per-executor one-time init still owed (µs).
+    extra_init: Vec<u64>,
+}
+
+impl JobScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        JobScratch::default()
+    }
+}
+
+/// Run one greedy list-scheduling pass: pop the earliest-available slot,
+/// assign the next duration, push the slot back. Returns the stage end.
+/// `slots_vec` is scratch backing storage — heapified in O(n) on entry,
+/// returned to the caller's Vec on exit so the allocation survives.
+fn list_schedule(slots_vec: &mut Vec<Slot>, durations: &[u64], stage_start: u64) -> u64 {
+    let mut slots = BinaryHeap::from(mem::take(slots_vec));
+    let mut stage_end = stage_start;
+    for &dur in durations {
+        let Reverse((avail, idx)) = slots.pop().expect("slots never exhausted");
+        let done = avail + dur;
+        stage_end = stage_end.max(done);
+        slots.push(Reverse((done, idx)));
+    }
+    *slots_vec = slots.into_vec();
+    stage_end
+}
+
 /// Simulate one job over `records` records starting at `start`.
 ///
 /// `executors` is the live set (launching ones join when ready); `fresh`
 /// executors pay `executor_init` before their first slot and their flag is
-/// cleared. Panics if `executors` is empty — the engine guarantees at
-/// least one.
+/// cleared. `scratch` provides reusable buffers (see [`JobScratch`]);
+/// results are independent of the scratch's prior contents. Panics if
+/// `executors` is empty — the engine guarantees at least one.
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_job(
     cost: &CostModel,
@@ -85,8 +132,15 @@ pub fn simulate_job(
     noise: &mut NoiseModel,
     stages: u32,
     speculation: Option<Speculation>,
+    scratch: &mut JobScratch,
 ) -> JobResult {
     assert!(!executors.is_empty(), "job needs at least one executor");
+    let JobScratch {
+        slots,
+        durations,
+        median_buf,
+        extra_init,
+    } = scratch;
     let tasks_per_stage =
         ((interval.as_micros() / block_interval.as_micros().max(1)).max(1)) as u32;
 
@@ -96,16 +150,14 @@ pub fn simulate_job(
     let mut t_us = start.as_micros() + serial_us.round() as u64;
 
     // Per-executor one-time initialization (jar shipping) for fresh ones.
-    let mut extra_init: Vec<u64> = executors
-        .iter()
-        .map(|e| {
-            if e.fresh {
-                executor_init.as_micros()
-            } else {
-                0
-            }
-        })
-        .collect();
+    extra_init.clear();
+    extra_init.extend(executors.iter().map(|e| {
+        if e.fresh {
+            executor_init.as_micros()
+        } else {
+            0
+        }
+    }));
     for e in executors.iter_mut() {
         e.fresh = false;
     }
@@ -121,15 +173,18 @@ pub fn simulate_job(
             |e: &Executor, init: u64| stage_start.max(e.ready_at.as_micros()).saturating_add(init);
 
         // First pass: assign tasks greedily and record every duration.
-        let mut slots: BinaryHeap<Slot> = executors
-            .iter()
-            .enumerate()
-            .map(|(idx, e)| Reverse((slot_open(e, extra_init[idx]), idx)))
-            .collect();
-        let mut durations: Vec<u64> = Vec::with_capacity(tasks_per_stage as usize);
+        slots.clear();
+        slots.extend(
+            executors
+                .iter()
+                .enumerate()
+                .map(|(idx, e)| Reverse((slot_open(e, extra_init[idx]), idx))),
+        );
+        let mut heap = BinaryHeap::from(mem::take(slots));
+        durations.clear();
         let mut stage_end = stage_start;
         for task in 0..tasks_per_stage {
-            let Reverse((avail, idx)) = slots.pop().expect("slots never exhausted");
+            let Reverse((avail, idx)) = heap.pop().expect("slots never exhausted");
             let e = &executors[idx];
             let recs = base + if task < rem { 1 } else { 0 };
 
@@ -153,34 +208,33 @@ pub fn simulate_job(
             durations.push(dur);
             let done = avail + dur;
             stage_end = stage_end.max(done);
-            slots.push(Reverse((done, idx)));
+            heap.push(Reverse((done, idx)));
         }
+        *slots = heap.into_vec();
 
         // Speculation pass: cap stragglers at multiplier × median +
         // relaunch overhead and re-run the schedule with the capped
         // durations (the speculative copy on an idle executor wins).
         if let Some(spec) = speculation {
             if durations.len() >= spec.min_tasks {
-                let mut sorted = durations.clone();
-                sorted.sort_unstable();
-                let median = sorted[sorted.len() / 2];
+                // Median via O(n) selection — no full sort, no fresh Vec.
+                median_buf.clear();
+                median_buf.extend_from_slice(durations);
+                let mid = median_buf.len() / 2;
+                let (_, &mut median, _) = median_buf.select_nth_unstable(mid);
                 let cap = (median as f64 * spec.multiplier + spec.relaunch_us) as u64;
                 if durations.iter().any(|&d| d > cap) {
                     for d in durations.iter_mut() {
                         *d = (*d).min(cap);
                     }
-                    let mut slots: BinaryHeap<Slot> = executors
-                        .iter()
-                        .enumerate()
-                        .map(|(idx, e)| Reverse((slot_open(e, extra_init[idx]), idx)))
-                        .collect();
-                    stage_end = stage_start;
-                    for &dur in &durations {
-                        let Reverse((avail, idx)) = slots.pop().expect("slots never exhausted");
-                        let done = avail + dur;
-                        stage_end = stage_end.max(done);
-                        slots.push(Reverse((done, idx)));
-                    }
+                    slots.clear();
+                    slots.extend(
+                        executors
+                            .iter()
+                            .enumerate()
+                            .map(|(idx, e)| Reverse((slot_open(e, extra_init[idx]), idx))),
+                    );
+                    stage_end = list_schedule(slots, durations, stage_start);
                 }
             }
         }
@@ -238,6 +292,7 @@ mod tests {
             &mut quiet_noise(),
             stages,
             None,
+            &mut JobScratch::new(),
         );
         r.finished_at - start
     }
@@ -266,6 +321,7 @@ mod tests {
             &mut quiet_noise(),
             2,
             None,
+            &mut JobScratch::new(),
         );
         assert_eq!(r.tasks_per_stage, 50);
         assert_eq!(r.stages, 2);
@@ -315,6 +371,7 @@ mod tests {
                 &mut quiet_noise(),
                 2,
                 None,
+                &mut JobScratch::new(),
             )
             .finished_at
                 - start
@@ -353,6 +410,7 @@ mod tests {
                 &mut quiet_noise(),
                 2,
                 None,
+                &mut JobScratch::new(),
             )
             .finished_at
             .as_secs_f64()
@@ -379,6 +437,7 @@ mod tests {
                 &mut quiet_noise(),
                 2,
                 None,
+                &mut JobScratch::new(),
             )
             .finished_at
             .as_secs_f64()
@@ -437,6 +496,7 @@ mod tests {
                 &mut quiet_noise(),
                 2,
                 spec,
+                &mut JobScratch::new(),
             )
             .finished_at
             .as_secs_f64()
@@ -465,6 +525,7 @@ mod tests {
                 &mut quiet_noise(),
                 2,
                 spec,
+                &mut JobScratch::new(),
             )
             .finished_at
         };
@@ -491,6 +552,7 @@ mod tests {
                     &mut noise,
                     8,
                     spec,
+                    &mut JobScratch::new(),
                 )
                 .finished_at
             };

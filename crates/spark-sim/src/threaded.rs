@@ -6,7 +6,7 @@
 //! topology is the only possible real-Spark integration (see DESIGN.md) —
 //! so this module proves the controller works over exactly such a
 //! boundary: the engine runs in its own thread, and *all* communication
-//! crosses crossbeam channels as JSON strings — the same bytes an HTTP
+//! crosses bounded channels as JSON strings — the same bytes an HTTP
 //! deployment would carry.
 //!
 //! ```text
@@ -17,21 +17,20 @@
 
 use crate::config::StreamConfig;
 use crate::engine::StreamingEngine;
-use crossbeam::channel::{bounded, Receiver, Sender};
 use nostop_core::listener::StatusReport;
 use nostop_core::system::{BatchObservation, StreamingSystem};
-use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use nostop_simcore::json::{self, Json};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 
 /// A live view of the engine's latest completed batch, shared with any
 /// number of observer threads — what a `/status` endpoint would serve.
 pub type StatusHandle = Arc<RwLock<Option<StatusReport>>>;
 
-/// Commands the controller side sends, serialized as JSON.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "cmd", rename_all = "camelCase")]
+/// Commands the controller side sends, serialized as JSON
+/// (`{"cmd": "applyConfig", "physical": [...]}` and friends).
+#[derive(Debug, Clone, PartialEq)]
 enum Command {
     /// Apply a configuration (physical units).
     ApplyConfig { physical: Vec<f64> },
@@ -41,15 +40,44 @@ enum Command {
     Shutdown,
 }
 
+impl Command {
+    fn to_json(&self) -> String {
+        match self {
+            Command::ApplyConfig { physical } => json::obj(vec![
+                ("cmd", json::str("applyConfig")),
+                ("physical", json::f64_array(physical)),
+            ]),
+            Command::NextBatch => json::obj(vec![("cmd", json::str("nextBatch"))]),
+            Command::Shutdown => json::obj(vec![("cmd", json::str("shutdown"))]),
+        }
+        .to_string()
+    }
+
+    fn from_json(text: &str) -> Result<Self, json::Error> {
+        let v = Json::parse(text)?;
+        match v.field_str("cmd")? {
+            "applyConfig" => Ok(Command::ApplyConfig {
+                physical: v.field_f64_array("physical")?,
+            }),
+            "nextBatch" => Ok(Command::NextBatch),
+            "shutdown" => Ok(Command::Shutdown),
+            other => Err(json::Error {
+                at: 0,
+                msg: format!("unknown command `{other}`"),
+            }),
+        }
+    }
+}
+
 /// The engine half: owns the engine, serves commands until shutdown.
 fn serve(
     mut engine: StreamingEngine,
     commands: Receiver<String>,
-    reports: Sender<String>,
+    reports: SyncSender<String>,
     status: StatusHandle,
 ) {
     for raw in commands {
-        let cmd: Command = match serde_json::from_str(&raw) {
+        let cmd = match Command::from_json(&raw) {
             Ok(c) => c,
             Err(_) => continue, // a real server would 400; we skip
         };
@@ -64,7 +92,7 @@ fn serve(
                     .last()
                     .expect("run_batches(1) completed a batch")
                     .to_status_report();
-                *status.write() = Some(report.clone());
+                *status.write().expect("status lock poisoned") = Some(report.clone());
                 if reports.send(report.to_json()).is_err() {
                     return; // controller went away
                 }
@@ -77,7 +105,7 @@ fn serve(
 /// The controller half: a [`StreamingSystem`] whose every interaction is a
 /// JSON message to the engine thread.
 pub struct RemoteSystem {
-    commands: Sender<String>,
+    commands: SyncSender<String>,
     reports: Receiver<String>,
     handle: Option<JoinHandle<()>>,
     status: StatusHandle,
@@ -87,8 +115,8 @@ pub struct RemoteSystem {
 impl RemoteSystem {
     /// Spawn `engine` on its own thread and return the remote handle.
     pub fn spawn(engine: StreamingEngine) -> Self {
-        let (cmd_tx, cmd_rx) = bounded::<String>(16);
-        let (rep_tx, rep_rx) = bounded::<String>(16);
+        let (cmd_tx, cmd_rx) = sync_channel::<String>(16);
+        let (rep_tx, rep_rx) = sync_channel::<String>(16);
         let status: StatusHandle = Arc::new(RwLock::new(None));
         let status_for_engine = Arc::clone(&status);
         let handle = std::thread::Builder::new()
@@ -111,8 +139,9 @@ impl RemoteSystem {
     }
 
     fn send(&self, cmd: &Command) {
-        let json = serde_json::to_string(cmd).expect("command serialization");
-        self.commands.send(json).expect("engine thread alive");
+        self.commands
+            .send(cmd.to_json())
+            .expect("engine thread alive");
     }
 
     /// Shut the engine thread down and join it.
@@ -122,9 +151,7 @@ impl RemoteSystem {
 
     fn shutdown_inner(&mut self) {
         if let Some(handle) = self.handle.take() {
-            let _ = self
-                .commands
-                .send(serde_json::to_string(&Command::Shutdown).unwrap());
+            let _ = self.commands.send(Command::Shutdown.to_json());
             let _ = handle.join();
         }
     }
@@ -176,6 +203,21 @@ mod tests {
             StreamConfig::new(SimDuration::from_secs(15), 10),
             Box::new(ConstantRate::new(120_000.0)),
         )
+    }
+
+    #[test]
+    fn command_json_round_trips() {
+        for cmd in [
+            Command::ApplyConfig {
+                physical: vec![25.0, 16.0],
+            },
+            Command::NextBatch,
+            Command::Shutdown,
+        ] {
+            let back = Command::from_json(&cmd.to_json()).unwrap();
+            assert_eq!(back, cmd);
+        }
+        assert!(Command::from_json("{\"cmd\":\"reboot\"}").is_err());
     }
 
     #[test]
@@ -235,10 +277,10 @@ mod tests {
     fn status_handle_is_readable_from_another_thread() {
         let mut remote = RemoteSystem::spawn(engine(6));
         let handle = remote.status_handle();
-        assert!(handle.read().is_none(), "no batch yet");
+        assert!(handle.read().unwrap().is_none(), "no batch yet");
         let b = remote.next_batch();
         let observer = std::thread::spawn(move || {
-            let guard = handle.read();
+            let guard = handle.read().unwrap();
             guard.as_ref().map(|r| r.num_records)
         });
         let seen = observer.join().unwrap();

@@ -1,0 +1,82 @@
+//! Determinism regression tests for the DES hot path.
+//!
+//! The hot-path optimizations (reused `JobScratch`, O(1) broker produce,
+//! bounded listener) must not perturb simulation results: the engine is a
+//! pure function of `(params, config, seed)`. These tests pin that down —
+//! same seed ⇒ bit-identical batch metrics, regardless of how often the
+//! caller drains, even once the bounded listener starts evicting.
+
+use nostop_datagen::rate::ConstantRate;
+use nostop_simcore::SimDuration;
+use nostop_workloads::WorkloadKind;
+use spark_sim::{BatchMetrics, EngineParams, StreamConfig, StreamingEngine};
+
+fn engine(kind: WorkloadKind, seed: u64, metrics_window: usize) -> StreamingEngine {
+    let mut params = EngineParams::paper(kind, seed);
+    params.metrics_window = metrics_window;
+    let rate = match kind {
+        WorkloadKind::LogisticRegression | WorkloadKind::LinearRegression => 10_000.0,
+        _ => 120_000.0,
+    };
+    StreamingEngine::new(
+        params,
+        StreamConfig::new(SimDuration::from_secs(8), 10),
+        Box::new(ConstantRate::new(rate)),
+    )
+}
+
+#[test]
+fn same_seed_produces_identical_histories() {
+    for kind in WorkloadKind::ALL {
+        let mut a = engine(kind, 42, 1_024);
+        let mut b = engine(kind, 42, 1_024);
+        a.run_batches(150);
+        b.run_batches(150);
+        assert_eq!(
+            a.listener().history(),
+            b.listener().history(),
+            "{} diverged under the same seed",
+            kind.name()
+        );
+        assert_eq!(a.listener().completed(), b.listener().completed());
+        assert_eq!(
+            a.listener().processing_summary().mean,
+            b.listener().processing_summary().mean
+        );
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_histories() {
+    let mut a = engine(WorkloadKind::LogisticRegression, 1, 1_024);
+    let mut b = engine(WorkloadKind::LogisticRegression, 2, 1_024);
+    a.run_batches(50);
+    b.run_batches(50);
+    assert_ne!(a.listener().history(), b.listener().history());
+}
+
+#[test]
+fn drain_cadence_does_not_change_the_stream() {
+    // A tiny retention window forces eviction during the run; as long as
+    // both consumers drain within the window, the concatenated streams
+    // must match batch for batch.
+    let mut every_batch = engine(WorkloadKind::WordCount, 7, 8);
+    let mut every_third = engine(WorkloadKind::WordCount, 7, 8);
+    let mut seen_a: Vec<BatchMetrics> = Vec::new();
+    let mut seen_b: Vec<BatchMetrics> = Vec::new();
+    for step in 1..=120u64 {
+        every_batch.run_batches(1);
+        seen_a.extend(every_batch.drain_completed());
+        every_third.run_batches(1);
+        if step % 3 == 0 {
+            seen_b.extend(every_third.drain_completed());
+        }
+    }
+    seen_b.extend(every_third.drain_completed());
+    assert_eq!(seen_a.len(), 120);
+    assert_eq!(seen_a, seen_b);
+    // Eviction really happened (the window is far smaller than the run) —
+    // the equality above exercised the cursor math, not a no-op path.
+    assert!(every_batch.listener().history().len() <= 16);
+    assert_eq!(every_batch.listener().completed(), 120);
+}

@@ -16,11 +16,10 @@ use crate::wordcount::WordCount;
 use crate::StreamingJob;
 use nostop_datagen::{RecordGenerator, RecordKind};
 use nostop_simcore::SimRng;
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Measured kernel cost.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Calibration {
     /// Which workload was measured.
     pub kind: WorkloadKind,

@@ -28,10 +28,9 @@
 
 use crate::kind::WorkloadKind;
 use nostop_simcore::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// How much work one micro-batch of a given workload costs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Which workload this models.
     pub kind: WorkloadKind,
@@ -192,7 +191,7 @@ impl CostModel {
 }
 
 /// The resolved cost of one concrete task, as the simulator schedules it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskCost {
     /// CPU µs on a unit-speed core (noise already applied).
     pub cpu_us: f64,

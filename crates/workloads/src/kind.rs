@@ -2,11 +2,10 @@
 
 use crate::cost::CostModel;
 use nostop_datagen::RecordKind;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The four computing workloads the paper evaluates (§6.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadKind {
     /// Streaming Logistic Regression — iterative ML; most dynamic batch times.
     LogisticRegression,

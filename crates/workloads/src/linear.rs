@@ -6,10 +6,9 @@
 
 use crate::StreamingJob;
 use nostop_datagen::Record;
-use serde::{Deserialize, Serialize};
 
 /// A persistent linear-regression model trained on streaming batches.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StreamingLinearRegression {
     /// `[bias, w_1, …, w_d]`.
     weights: Vec<f64>,

@@ -12,11 +12,10 @@
 
 use crate::StreamingJob;
 use nostop_datagen::Record;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// One parsed Nginx combined-log-format line.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogEntry {
     /// Client IP.
     pub ip: String,
@@ -70,7 +69,7 @@ pub fn parse_line(line: &str) -> Option<LogEntry> {
 }
 
 /// Persistent analytics state — what the job writes to HDFS each batch.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LogSummary {
     /// Hits per HTTP status code.
     pub status_counts: HashMap<u16, u64>,

@@ -10,10 +10,9 @@
 
 use crate::StreamingJob;
 use nostop_datagen::Record;
-use serde::{Deserialize, Serialize};
 
 /// A persistent logistic-regression model trained on streaming batches.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StreamingLogisticRegression {
     /// `[bias, w_1, …, w_d]`.
     weights: Vec<f64>,

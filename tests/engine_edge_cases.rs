@@ -131,8 +131,8 @@ fn controller_config_round_trips_through_json() {
     // Operators persist controller configs; the whole NoStopConfig must
     // survive serde.
     let cfg = NoStopConfig::paper_default().with_rate_range(7_000.0, 13_000.0);
-    let json = serde_json::to_string(&cfg).expect("serializes");
-    let back: NoStopConfig = serde_json::from_str(&json).expect("parses");
+    let json = cfg.to_json();
+    let back = NoStopConfig::from_json(&json).expect("parses");
     assert_eq!(back.space, cfg.space);
     assert_eq!(back.gains, cfg.gains);
     assert_eq!(back.reset_threshold_speed, cfg.reset_threshold_speed);
