@@ -36,6 +36,7 @@ impl StreamingSystem for NullSystem {
             input_rate: 10_000.0,
             num_executors: 10,
             queued_batches: 0,
+            executor_failures: 0,
         }
     }
     fn now_s(&self) -> f64 {

@@ -53,6 +53,12 @@ pub struct NoStopConfig {
     pub reset_level_fraction: Option<f64>,
     /// Reset rule: rate samples watched.
     pub reset_window: usize,
+    /// Restart the optimization once this many executor failures
+    /// accumulate (`None` = never). Executor loss shifts the service-rate
+    /// regime the way a traffic surge shifts the arrival regime, so the
+    /// same remedy applies: reset coefficients and re-explore rather than
+    /// inch toward the new optimum with end-of-schedule gains.
+    pub failure_reset_threshold: Option<u32>,
     /// Batches skipped after each reconfiguration (paper: the first).
     pub settle_batches: usize,
     /// Minimum measurement window, batches.
@@ -98,6 +104,7 @@ impl NoStopConfig {
             reset_relative: false,
             reset_level_fraction: Some(0.4),
             reset_window: 12,
+            failure_reset_threshold: Some(3),
             settle_batches: 1,
             measure_min_batches: 3,
             measure_max_batches: 12,
@@ -182,6 +189,13 @@ impl NoStopConfig {
                 },
             ),
             ("resetWindow", json::uint(self.reset_window as u64)),
+            (
+                "failureResetThreshold",
+                match self.failure_reset_threshold {
+                    Some(n) => json::uint(n as u64),
+                    None => Json::Null,
+                },
+            ),
             ("settleBatches", json::uint(self.settle_batches as u64)),
             (
                 "measureMinBatches",
@@ -278,6 +292,12 @@ impl NoStopConfig {
             reset_relative: v.field_bool("resetRelative")?,
             reset_level_fraction: opt_null("resetLevelFraction")?,
             reset_window: v.field_u64("resetWindow")? as usize,
+            // Optional (nullable) for configs persisted before the fault
+            // layer existed.
+            failure_reset_threshold: match v.get("failureResetThreshold") {
+                None | Some(Json::Null) => None,
+                Some(_) => Some(v.field_u64("failureResetThreshold")? as u32),
+            },
             settle_batches: v.field_u64("settleBatches")? as usize,
             measure_min_batches: v.field_u64("measureMinBatches")? as usize,
             measure_max_batches: v.field_u64("measureMaxBatches")? as usize,
@@ -411,6 +431,7 @@ impl NoStop {
             ResetRule::new(cfg.reset_threshold_speed, cfg.reset_window)
         };
         reset.level_fraction = cfg.reset_level_fraction;
+        reset.failure_threshold = cfg.failure_reset_threshold;
         let window = WindowPolicy::new(
             cfg.settle_batches,
             cfg.measure_min_batches,
@@ -588,9 +609,12 @@ impl NoStop {
         let window = self.window.window();
         let mut batches = Vec::with_capacity(window);
         let mut parked_batches = Vec::new();
+        let mut saw_failures = false;
         for _ in 0..window.max(1) {
             let b = sys.next_batch();
             self.reset.record_rate(b.input_rate);
+            self.reset.record_failure(b.executor_failures);
+            saw_failures |= b.executor_failures > 0;
             if (b.interval_s - parked_interval).abs() < 0.051 {
                 parked_batches.push(b);
             }
@@ -613,11 +637,15 @@ impl NoStop {
         if self.reset.needs_reset() {
             return self.do_reset(sys);
         }
-        if unstable {
+        if unstable || saw_failures {
             // §5.3.5: the pause holds "until the system becomes unstable".
             // Instability without a rate shift is a local problem — resume
             // optimization from the current iterate with the current
-            // (small) gains rather than restarting from θ_initial.
+            // (small) gains rather than restarting from θ_initial. An
+            // executor failure forces the same wake pre-emptively: the
+            // parked configuration was chosen for a cluster that no longer
+            // exists, so re-explore instead of waiting for the queue to
+            // prove it.
             return self.wake(sys);
         }
 
@@ -690,6 +718,7 @@ impl NoStop {
         for _ in 0..self.cfg.measure_scan_cap {
             let b = sys.next_batch();
             self.reset.record_rate(b.input_rate);
+            self.reset.record_failure(b.executor_failures);
             let matched = (b.interval_s - target_interval).abs() < 0.051;
             if matched && b.queued_batches == 0 {
                 settled = true;
@@ -706,12 +735,25 @@ impl NoStop {
         for _ in 1..self.window.skip_count() {
             let b = sys.next_batch();
             self.reset.record_rate(b.input_rate);
+            self.reset.record_failure(b.executor_failures);
         }
 
+        // Batches that absorbed an executor failure measure the crash
+        // (task re-execution, lineage recovery), not the configuration —
+        // averaging them in would poison the gradient estimate. Discard
+        // them and re-pull, spending at most `measure_scan_cap` spares;
+        // a fault storm that exhausts the budget is measured dirty, and
+        // the reset rule (fed above) decides whether to re-explore.
+        let mut spare = self.cfg.measure_scan_cap;
         let mut window: Vec<BatchObservation> = Vec::with_capacity(self.cfg.measure_min_batches);
-        for _ in 0..self.cfg.measure_min_batches {
+        while window.len() < self.cfg.measure_min_batches {
             let b = sys.next_batch();
             self.reset.record_rate(b.input_rate);
+            self.reset.record_failure(b.executor_failures);
+            if b.executor_failures > 0 && spare > 0 {
+                spare -= 1;
+                continue;
+            }
             window.push(b);
         }
         let mut m = Measurement::from_window(&window);
@@ -830,6 +872,10 @@ mod tests {
         rng: SimRng,
         noise: f64,
         changes: u64,
+        /// Inject `count` executor failures `delay` batches from now; the
+        /// failing batch also absorbs a huge recomputation penalty, the
+        /// way a real crash-hit batch would.
+        fail_in: Option<(u32, u32)>,
     }
 
     impl MockSystem {
@@ -844,6 +890,7 @@ mod tests {
                 rng: SimRng::seed_from_u64(seed),
                 noise,
                 changes: 0,
+                fail_in: None,
             }
         }
 
@@ -866,7 +913,18 @@ mod tests {
         }
         fn next_batch(&mut self) -> BatchObservation {
             self.t += self.interval_s;
-            let proc = self.processing();
+            let failures = match self.fail_in.take() {
+                Some((0, n)) => n,
+                Some((d, n)) => {
+                    self.fail_in = Some((d - 1, n));
+                    0
+                }
+                None => 0,
+            };
+            let mut proc = self.processing();
+            if failures > 0 {
+                proc += 1_000.0; // lineage recomputation on the crash batch
+            }
             // A batch waits for the backlog ahead of it; instability then
             // grows the backlog, stability drains it.
             let sched = self.backlog_s;
@@ -880,6 +938,7 @@ mod tests {
                 input_rate: self.rate,
                 num_executors: self.executors as u32,
                 queued_batches: (self.backlog_s / self.interval_s.max(0.001)) as u32,
+                executor_failures: failures,
             }
         }
         fn now_s(&self) -> f64 {
@@ -1031,6 +1090,82 @@ mod tests {
         assert!(woke, "instability at the parked config must wake NoStop");
         assert!(!ns.is_paused());
         assert_eq!(ns.k(), k_before, "soft wake keeps the iteration count");
+    }
+
+    #[test]
+    fn executor_failure_wakes_a_paused_controller() {
+        let mut sys = MockSystem::new(10_000.0, 0.01, 5);
+        let mut ns = controller(13);
+        for _ in 0..200 {
+            ns.run_round(&mut sys);
+            if ns.is_paused() {
+                break;
+            }
+        }
+        assert!(ns.is_paused(), "precondition: paused");
+        let k_before = ns.k();
+        sys.fail_in = Some((0, 1)); // one loss: below the reset threshold of 3
+        let mut woke = false;
+        for _ in 0..5 {
+            if matches!(ns.run_round(&mut sys), RoundOutcome::Woke) {
+                woke = true;
+                break;
+            }
+        }
+        assert!(
+            woke,
+            "a single executor loss must wake the parked controller"
+        );
+        assert!(!ns.is_paused());
+        assert_eq!(ns.k(), k_before, "below-threshold failure is a soft wake");
+    }
+
+    #[test]
+    fn failure_burst_triggers_coefficient_reset() {
+        let mut sys = MockSystem::new(10_000.0, 0.02, 4);
+        let mut ns = controller(11);
+        ns.run(&mut sys, 10);
+        assert!(ns.k() > 0);
+        sys.fail_in = Some((0, 5)); // past the paper-default threshold of 3
+        let mut saw_reset = false;
+        for _ in 0..10 {
+            if matches!(ns.run_round(&mut sys), RoundOutcome::Reset) {
+                saw_reset = true;
+                break;
+            }
+        }
+        assert!(
+            saw_reset,
+            "losing 5 executors must restart the optimization"
+        );
+        assert_eq!(ns.k(), 0, "k reset to 0");
+        assert_eq!(ns.theta_scaled(), &[10.0, 10.0]);
+    }
+
+    #[test]
+    fn contaminated_batch_is_discarded_from_the_measurement_window() {
+        let mut sys = MockSystem::new(10_000.0, 0.02, 3);
+        let mut ns = controller(3);
+        // Land the crash inside the first measurement window (after the
+        // settling batch): the +1000 s recomputation batch must not be
+        // averaged into y(θ⁺).
+        sys.fail_in = Some((2, 1));
+        match ns.run_round(&mut sys) {
+            RoundOutcome::Optimized { .. } => {}
+            other => panic!("expected optimization, got {other:?}"),
+        }
+        let rec = ns.trace().rounds.last().expect("round traced");
+        match &rec.kind {
+            RoundKind::Optimized { plus, minus, .. } => {
+                assert!(
+                    plus.processing_s < 100.0,
+                    "crash batch leaked into the window: {}",
+                    plus.processing_s
+                );
+                assert!(minus.processing_s < 100.0);
+            }
+            other => panic!("expected an optimized trace record, got {other:?}"),
+        }
     }
 
     #[test]

@@ -57,6 +57,7 @@
 //!             input_rate: 100.0, // constant arrival rate
 //!             num_executors: self.execs as u32,
 //!             queued_batches: 0,
+//!             executor_failures: 0,
 //!         }
 //!     }
 //!     fn now_s(&self) -> f64 { self.t }

@@ -39,6 +39,9 @@ pub struct StatusReport {
     pub num_executors: u32,
     /// Batches waiting in the queue at completion time.
     pub queued_batches: u32,
+    /// Executors lost to failures since the previous batch completed.
+    /// Optional on the wire; 0 means "no failures observed".
+    pub executor_failures: u32,
 }
 
 impl StatusReport {
@@ -80,6 +83,7 @@ impl StatusReport {
             },
             num_executors: self.num_executors,
             queued_batches: self.queued_batches,
+            executor_failures: self.executor_failures,
         }
     }
 
@@ -102,12 +106,17 @@ impl StatusReport {
             ("ingestWindowMs", json::uint(self.ingest_window_ms)),
             ("numExecutors", json::uint(self.num_executors as u64)),
             ("queuedBatches", json::uint(self.queued_batches as u64)),
+            (
+                "executorFailures",
+                json::uint(self.executor_failures as u64),
+            ),
         ])
         .to_string()
     }
 
-    /// Parse from the JSON wire format. `arrivedRecords` and
-    /// `ingestWindowMs` are optional on the wire and default to 0.
+    /// Parse from the JSON wire format. `arrivedRecords`,
+    /// `ingestWindowMs`, and `executorFailures` are optional on the wire
+    /// and default to 0.
     pub fn from_json(text: &str) -> Result<Self, json::Error> {
         let v = Json::parse(text)?;
         Ok(StatusReport {
@@ -121,6 +130,7 @@ impl StatusReport {
             ingest_window_ms: v.field_u64_or_zero("ingestWindowMs")?,
             num_executors: v.field_u64("numExecutors")? as u32,
             queued_batches: v.field_u64("queuedBatches")? as u32,
+            executor_failures: v.field_u64_or_zero("executorFailures")? as u32,
         })
     }
 }
@@ -141,6 +151,7 @@ mod tests {
             ingest_window_ms: 10_000,
             num_executors: 12,
             queued_batches: 1,
+            executor_failures: 0,
         }
     }
 

@@ -37,6 +37,14 @@ pub struct ResetRule {
     /// std/mean ratio of at most (m−1)/(m+1)). The level-shift detector
     /// closes that gap.
     pub level_fraction: Option<f64>,
+    /// Cumulative executor failures reported since the last [`ResetRule::clear`].
+    failures: u32,
+    /// Fire once cumulative executor failures reach this count (`None`
+    /// disables failure-triggered resets). Executor loss changes the
+    /// effective service rate the same way a traffic surge changes the
+    /// arrival rate: the converged θ is stale and the shrunk SPSA gains
+    /// would chase the new optimum at a crawl — so re-explore.
+    pub failure_threshold: Option<u32>,
 }
 
 impl ResetRule {
@@ -55,6 +63,8 @@ impl ResetRule {
             fired: false,
             baseline: Ewma::new(0.02),
             level_fraction: None,
+            failures: 0,
+            failure_threshold: None,
         }
     }
 
@@ -109,6 +119,27 @@ impl ResetRule {
         self.baseline.push(rate);
     }
 
+    /// Record `count` executor failures observed in a completed batch.
+    /// Latches the reset once cumulative failures since the last
+    /// [`ResetRule::clear`] reach `failure_threshold`.
+    pub fn record_failure(&mut self, count: u32) {
+        if count == 0 {
+            return;
+        }
+        self.failures = self.failures.saturating_add(count);
+        if let Some(threshold) = self.failure_threshold {
+            if self.failures >= threshold {
+                self.fired = true;
+            }
+        }
+    }
+
+    /// Cumulative executor failures since the last [`ResetRule::clear`]
+    /// (for telemetry).
+    pub fn failure_count(&self) -> u32 {
+        self.failures
+    }
+
     /// True once a rate shift has been detected — the paper's
     /// `needResetCoefficient()`.
     pub fn needs_reset(&self) -> bool {
@@ -137,6 +168,7 @@ impl ResetRule {
         };
         self.window.clear();
         self.fired = false;
+        self.failures = 0;
         self.baseline.reset();
         if let Some(l) = level {
             self.baseline.push(l);
@@ -216,6 +248,35 @@ mod tests {
     #[should_panic(expected = "window")]
     fn tiny_window_panics() {
         let _ = ResetRule::new(1.0, 2);
+    }
+
+    #[test]
+    fn failures_accumulate_to_the_threshold_then_latch() {
+        let mut r = ResetRule::new(1_000.0, 10);
+        r.failure_threshold = Some(3);
+        r.record_failure(1);
+        assert!(!r.needs_reset());
+        r.record_failure(0); // no-op
+        r.record_failure(1);
+        assert!(!r.needs_reset());
+        r.record_failure(1);
+        assert!(r.needs_reset(), "3 cumulative failures must latch");
+        assert_eq!(r.failure_count(), 3);
+        r.clear();
+        assert!(!r.needs_reset());
+        assert_eq!(r.failure_count(), 0);
+        // A burst past the threshold fires in one step.
+        r.record_failure(5);
+        assert!(r.needs_reset());
+    }
+
+    #[test]
+    fn failures_ignored_when_threshold_disabled() {
+        let mut r = ResetRule::new(1_000.0, 10);
+        assert_eq!(r.failure_threshold, None);
+        r.record_failure(100);
+        assert!(!r.needs_reset());
+        assert_eq!(r.failure_count(), 100);
     }
 
     #[test]

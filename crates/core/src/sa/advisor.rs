@@ -140,6 +140,7 @@ mod tests {
                 input_rate: 1000.0,
                 num_executors: 8,
                 queued_batches: 0,
+                executor_failures: 0,
             }
         }
         fn now_s(&self) -> f64 {

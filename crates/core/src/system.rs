@@ -31,6 +31,11 @@ pub struct BatchObservation {
     /// Batches still waiting in the queue when this one completed — the
     /// controller's settling barrier watches this drain to zero.
     pub queued_batches: u32,
+    /// Executors lost to failures since the previous batch completed
+    /// (0 when the platform doesn't report failures). A non-zero value
+    /// marks the measurement as fault-contaminated: the controller
+    /// discards it from gradient windows and feeds the reset rule.
+    pub executor_failures: u32,
 }
 
 impl BatchObservation {
@@ -57,6 +62,10 @@ impl BatchObservation {
             ("inputRate", json::num(self.input_rate)),
             ("numExecutors", json::uint(self.num_executors as u64)),
             ("queuedBatches", json::uint(self.queued_batches as u64)),
+            (
+                "executorFailures",
+                json::uint(self.executor_failures as u64),
+            ),
         ])
         .to_string()
     }
@@ -73,6 +82,8 @@ impl BatchObservation {
             input_rate: v.field_f64("inputRate")?,
             num_executors: v.field_u64("numExecutors")? as u32,
             queued_batches: v.field_u64("queuedBatches")? as u32,
+            // Optional on the wire: pre-fault-layer producers omit it.
+            executor_failures: v.field_u64_or_zero("executorFailures")? as u32,
         })
     }
 }
@@ -165,6 +176,7 @@ mod tests {
             input_rate: 100.0 / interval,
             num_executors: 4,
             queued_batches: 0,
+            executor_failures: 0,
         }
     }
 

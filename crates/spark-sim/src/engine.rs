@@ -20,6 +20,7 @@ use crate::batch::{Batch, BatchQueue};
 use crate::cluster::Cluster;
 use crate::config::StreamConfig;
 use crate::executor::ExecutorManager;
+use crate::fault::{FaultPlan, FaultState, FaultTimer, TaskFaultCtx};
 use crate::metrics::{BatchMetrics, Listener};
 use crate::noise::{NoiseModel, NoiseParams};
 use crate::scheduler::{simulate_job, JobScratch, Speculation};
@@ -69,6 +70,9 @@ pub struct EngineParams {
     /// than the window are dropped. Callers polling `drain_completed`
     /// must do so within this many batches or lose the evicted ones.
     pub metrics_window: usize,
+    /// Scheduled faults (crashes, stragglers, outages, task failures).
+    /// The default empty plan is byte-identical to a fault-free engine.
+    pub faults: FaultPlan,
     /// Master seed; all internal streams fork from it.
     pub seed: u64,
 }
@@ -89,6 +93,7 @@ impl EngineParams {
             noise: NoiseParams::default(),
             speculation: None,
             metrics_window: Listener::DEFAULT_WINDOW,
+            faults: FaultPlan::none(),
             seed,
         }
     }
@@ -111,6 +116,7 @@ struct RunningJob {
     executors: u32,
     stages: u32,
     busy_cores: SimDuration,
+    task_retries: u32,
 }
 
 /// The discrete-event Spark Streaming engine.
@@ -140,6 +146,17 @@ pub struct StreamingEngine {
     drained: u64,
     /// Reusable buffers for the per-job scheduling hot loop.
     scratch: JobScratch,
+    /// Pending fault timeline and lazy window queries.
+    faults: FaultState,
+    /// RNG stream for fault draws (crash victims, task-retry coin flips).
+    fault_rng: SimRng,
+    /// Sink for records produced during a declared receiver outage; its
+    /// counters never mix with the real broker's.
+    void_broker: Broker,
+    /// Records dropped by receiver outages over the whole run.
+    dropped_records: u64,
+    /// Executor losses not yet attached to a completed batch.
+    pending_failures: u32,
 }
 
 impl StreamingEngine {
@@ -158,6 +175,12 @@ impl StreamingEngine {
         });
         let noise = NoiseModel::new(params.noise, params.cluster.nodes.len(), root.fork(1));
         let job_rng = root.fork(2);
+        let fault_rng = root.fork(3);
+        let faults = FaultState::new(params.faults.clone());
+        let void_broker = Broker::new(BrokerConfig {
+            partitions: 1,
+            max_consume_rate: None,
+        });
         let next_cut = SimTime::ZERO + initial.batch_interval;
         let metrics_window = params.metrics_window;
         StreamingEngine {
@@ -179,6 +202,11 @@ impl StreamingEngine {
             listener: Listener::with_window(metrics_window),
             drained: 0,
             scratch: JobScratch::new(),
+            faults,
+            fault_rng,
+            void_broker,
+            dropped_records: 0,
+            pending_failures: 0,
         }
     }
 
@@ -228,6 +256,34 @@ impl StreamingEngine {
         self.broker.total_lag()
     }
 
+    /// Records dropped by declared receiver outages over the whole run.
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped_records
+    }
+
+    /// Records sitting in cut-but-unprocessed batches.
+    pub fn queued_records(&self) -> u64 {
+        self.queue.queued_records()
+    }
+
+    /// Records in the currently running job, if any.
+    pub fn in_flight_records(&self) -> u64 {
+        self.running.map(|j| j.batch.records).unwrap_or(0)
+    }
+
+    /// Everything the source ever produced, whether it reached the broker
+    /// or was dropped by an outage. The conservation invariant is
+    /// `total_produced == completed + queued + in-flight + broker lag +
+    /// dropped` at any event boundary.
+    pub fn total_produced(&self) -> u64 {
+        self.broker.total_produced() + self.dropped_records
+    }
+
+    /// Live executor count (launching ones included).
+    pub fn executor_count(&self) -> u32 {
+        self.executors.count()
+    }
+
     /// The rate process's instantaneous rate at the current clock.
     pub fn current_input_rate(&mut self) -> f64 {
         let t = self.clock;
@@ -263,28 +319,129 @@ impl StreamingEngine {
     }
 
     fn next_event_time(&self) -> SimTime {
-        match &self.running {
+        let base = match &self.running {
             Some(job) => self.next_cut.min(job.finishes_at),
             None => self.next_cut,
-        }
+        };
+        base.min(self.faults.next_timer_at())
     }
 
-    /// Process exactly one event (batch cut or job completion).
+    /// Process exactly one event (fault, batch cut, or job completion).
+    /// Faults win ties: a crash at the instant a job would finish still
+    /// hits that job, matching a real cluster where the completion
+    /// acknowledgment from a dead executor never arrives.
     fn step(&mut self) {
         let cut = self.next_cut;
         let finish = self.running.map(|j| j.finishes_at).unwrap_or(SimTime::MAX);
-        if finish <= cut {
+        let fault = self.faults.next_timer_at();
+        if fault <= cut && fault <= finish {
+            self.on_fault();
+        } else if finish <= cut {
             self.on_job_finish();
         } else {
             self.on_batch_cut();
         }
     }
 
+    fn on_fault(&mut self) {
+        let (at, timer) = self.faults.pop_timer().expect("a fault timer was due");
+        self.clock = self.clock.max(at);
+        match timer {
+            FaultTimer::Crash {
+                count,
+                relaunch_after,
+            } => {
+                let lost = self.executors.crash(count, &mut self.fault_rng);
+                if lost > 0 {
+                    self.pending_failures += lost;
+                    if let Some(delay) = relaunch_after {
+                        self.faults.push_timer(at + delay, FaultTimer::Relaunch);
+                    }
+                    self.replan_running_job(at, lost);
+                }
+            }
+            FaultTimer::Relaunch => {
+                // The cluster manager restores the applied target;
+                // replacements launch fresh (delay + jar shipping).
+                self.executors.set_target(self.target_executors, self.clock);
+            }
+        }
+    }
+
+    /// Re-plan the in-flight job after `lost` of its executors crashed at
+    /// `now`. Spark recomputes lost partitions from lineage on the
+    /// survivors: the remaining work is the unfinished tail of the job
+    /// plus the finished fraction that lived on the dead executors.
+    fn replan_running_job(&mut self, now: SimTime, lost: u32) {
+        let Some(job) = self.running else { return };
+        let total = job
+            .finishes_at
+            .saturating_since(job.started_at)
+            .as_secs_f64();
+        let elapsed = now.saturating_since(job.started_at).as_secs_f64();
+        let progress = if total > 0.0 {
+            (elapsed / total).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let lost_frac = (lost as f64 / job.executors.max(1) as f64).min(1.0);
+        let remaining = (1.0 - progress) + progress * lost_frac;
+        let records = ((job.batch.records as f64) * remaining).ceil() as u64;
+        let stages = (((job.stages as f64) * remaining).ceil() as u32).max(1);
+        let executors = self.executors.executors_mut();
+        let result = simulate_job(
+            &self.cost,
+            records,
+            job.batch.interval,
+            self.params.block_interval,
+            now,
+            executors,
+            self.params.executor_init,
+            &mut self.noise,
+            stages,
+            self.params.speculation,
+            &mut self.scratch,
+            Some(TaskFaultCtx {
+                state: &self.faults,
+                rng: &mut self.fault_rng,
+            }),
+        );
+        let job = self.running.as_mut().expect("job checked above");
+        job.finishes_at = result.finished_at;
+        // Busy time actually spent: the pre-crash fraction plus the redo.
+        job.busy_cores =
+            job.busy_cores.mul_f64(progress) + SimDuration::from_micros(result.busy_core_us);
+        job.task_retries += result.task_retries;
+    }
+
+    /// Advance production to `t`, routing records produced inside declared
+    /// receiver-outage windows into a void sink (counted as dropped)
+    /// instead of the broker.
+    fn ingest_to(&mut self, t: SimTime) -> u64 {
+        if !self.faults.plan().has_outages() {
+            return self.generator.advance_to(t, &mut self.broker);
+        }
+        let mut arrived = 0;
+        let mut cur = self.generator.produced_until();
+        while cur < t {
+            let (end, dropping) = self.faults.outage_segment(cur, t);
+            debug_assert!(end > cur, "outage segments must advance");
+            if dropping {
+                self.dropped_records += self.generator.advance_to(end, &mut self.void_broker);
+            } else {
+                arrived += self.generator.advance_to(end, &mut self.broker);
+            }
+            cur = end;
+        }
+        arrived
+    }
+
     fn on_batch_cut(&mut self) {
         let t = self.next_cut;
         self.clock = t;
-        // Receivers ingest everything produced up to the cut.
-        self.arrived_since_cut += self.generator.advance_to(t, &mut self.broker);
+        // Receivers ingest everything produced up to the cut (minus any
+        // declared outage windows, whose production is dropped).
+        self.arrived_since_cut += self.ingest_to(t);
         // When the batch queue is saturated the divider blocks: no batch is
         // cut, the data stays in the broker, and the next successful cut
         // absorbs it as a catch-up batch.
@@ -332,6 +489,8 @@ impl StreamingEngine {
             stages: job.stages,
             busy_cores: job.busy_cores,
             queue_len: self.queue.len() as u32,
+            executor_failures: std::mem::take(&mut self.pending_failures),
+            task_retries: job.task_retries,
         });
         self.try_start_job();
     }
@@ -356,14 +515,19 @@ impl StreamingEngine {
             stages,
             self.params.speculation,
             &mut self.scratch,
+            Some(TaskFaultCtx {
+                state: &self.faults,
+                rng: &mut self.fault_rng,
+            }),
         );
         self.running = Some(RunningJob {
             batch,
             started_at: start,
             finishes_at: result.finished_at,
-            executors: executors.len() as u32,
+            executors: self.executors.count(),
             stages: result.stages,
             busy_cores: SimDuration::from_micros(result.busy_core_us),
+            task_retries: result.task_retries,
         });
     }
 }

@@ -10,7 +10,7 @@
 //! of them.
 
 use crate::cluster::{Cluster, DiskClass};
-use nostop_simcore::{SimDuration, SimTime};
+use nostop_simcore::{SimDuration, SimRng, SimTime};
 
 /// One live (or launching) executor.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,6 +95,23 @@ impl ExecutorManager {
                 self.executors.pop();
             }
         }
+    }
+
+    /// Kill `count` executors chosen uniformly at random from the live
+    /// set (launching ones included — a node loss takes them too), never
+    /// dropping below one: the driver survives and keeps its last
+    /// container, so the stream degrades instead of dying. Returns how
+    /// many actually died. The count is *not* a retarget: a later
+    /// [`ExecutorManager::set_target`] at the old target relaunches
+    /// replacements, which pay the usual launch delay and jar shipping.
+    pub fn crash(&mut self, count: u32, rng: &mut SimRng) -> u32 {
+        let mut killed = 0;
+        while killed < count && self.executors.len() > 1 {
+            let victim = rng.uniform_u64(0, self.executors.len() as u64 - 1) as usize;
+            self.executors.remove(victim);
+            killed += 1;
+        }
+        killed
     }
 
     /// Launch all initial executors as already-ready (application start).
@@ -209,6 +226,38 @@ mod tests {
         );
         m.set_target(0, SimTime::ZERO);
         assert_eq!(m.count(), 1, "never below one executor");
+    }
+
+    #[test]
+    fn crash_kills_victims_but_never_the_last_executor() {
+        let mut m = manager();
+        m.bootstrap(10);
+        let mut rng = SimRng::seed_from_u64(7);
+        assert_eq!(m.crash(3, &mut rng), 3);
+        assert_eq!(m.count(), 7);
+        // The floor: asking for more than remain kills all but one.
+        assert_eq!(m.crash(100, &mut rng), 6);
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.crash(1, &mut rng), 0, "last executor survives");
+        // A later retarget at the old goal relaunches fresh replacements.
+        let now = SimTime::from_secs_f64(500.0);
+        m.set_target(10, now);
+        assert_eq!(m.count(), 10);
+        assert_eq!(m.executors().iter().filter(|e| e.fresh).count(), 9);
+        assert_eq!(m.ready_count(now), 1, "replacements pay launch delay");
+    }
+
+    #[test]
+    fn crash_victim_choice_is_seed_deterministic() {
+        let survivors = |seed: u64| {
+            let mut m = manager();
+            m.bootstrap(12);
+            let mut rng = SimRng::seed_from_u64(seed);
+            m.crash(4, &mut rng);
+            m.executors().iter().map(|e| e.id).collect::<Vec<_>>()
+        };
+        assert_eq!(survivors(3), survivors(3));
+        assert_ne!(survivors(3), survivors(4));
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   per-task log-normal noise;
 //! * [`noise`] — the stochastic environment: multiplicative task noise and
 //!   Poisson contention windows per node;
+//! * [`fault`] — deterministic fault injection: a [`fault::FaultPlan`]
+//!   schedules executor crashes (with optional relaunch), node-slowdown
+//!   windows, receiver outages, and transient task failures with bounded
+//!   retry, all replayed off the DES clock and a dedicated seed fork;
 //! * [`metrics`] — a `StreamingListener` equivalent producing
 //!   [`metrics::BatchMetrics`] and JSON [`nostop_core::listener::StatusReport`]s;
 //! * [`engine`] — [`engine::StreamingEngine`] ties it together: run loop,
@@ -42,6 +46,7 @@ pub mod cluster;
 pub mod config;
 pub mod engine;
 pub mod executor;
+pub mod fault;
 pub mod metrics;
 pub mod noise;
 pub mod scheduler;
@@ -51,6 +56,7 @@ pub use adapter::SimSystem;
 pub use cluster::{Cluster, DiskClass, NodeSpec};
 pub use config::StreamConfig;
 pub use engine::{EngineParams, StreamingEngine};
+pub use fault::{FaultEvent, FaultPlan};
 pub use metrics::{BatchMetrics, Listener};
 pub use noise::NoiseParams;
 pub use scheduler::{JobResult, JobScratch, Speculation};

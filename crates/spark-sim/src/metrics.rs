@@ -39,6 +39,13 @@ pub struct BatchMetrics {
     pub busy_cores: SimDuration,
     /// Batches left waiting in the queue when this one completed.
     pub queue_len: u32,
+    /// Executors lost to injected faults since the previous completed
+    /// batch (the first batch to complete after a crash carries it,
+    /// whether or not its own job was hit).
+    pub executor_failures: u32,
+    /// Task attempts re-run due to injected transient failures during
+    /// this batch's job.
+    pub task_retries: u32,
 }
 
 impl BatchMetrics {
@@ -113,6 +120,7 @@ impl BatchMetrics {
             input_rate: self.input_rate(),
             num_executors: self.num_executors,
             queued_batches: self.queue_len,
+            executor_failures: self.executor_failures,
         }
     }
 
@@ -129,6 +137,7 @@ impl BatchMetrics {
             ingest_window_ms: self.ingest_window.as_millis(),
             num_executors: self.num_executors,
             queued_batches: self.queue_len,
+            executor_failures: self.executor_failures,
         }
     }
 }
@@ -154,6 +163,11 @@ pub struct Listener {
     evicted: u64,
     /// Batches (ever) that met the stability constraint.
     stable: u64,
+    /// Executor losses over the whole run (fault counters survive
+    /// eviction like the other aggregates).
+    executor_failures: u64,
+    /// Task re-runs over the whole run.
+    task_retries: u64,
     processing: Welford,
     scheduling: Welford,
 }
@@ -183,6 +197,8 @@ impl Listener {
             window: window.max(1),
             evicted: 0,
             stable: 0,
+            executor_failures: 0,
+            task_retries: 0,
             processing: Welford::default(),
             scheduling: Welford::default(),
         }
@@ -195,6 +211,8 @@ impl Listener {
         if m.is_stable() {
             self.stable += 1;
         }
+        self.executor_failures += m.executor_failures as u64;
+        self.task_retries += m.task_retries as u64;
         if self.history.len() >= self.window * 2 {
             self.history.drain(..self.window);
             self.evicted += self.window as u64;
@@ -244,6 +262,16 @@ impl Listener {
         self.scheduling.summary()
     }
 
+    /// Executor losses recorded over the whole run (eviction-proof).
+    pub fn executor_failures(&self) -> u64 {
+        self.executor_failures
+    }
+
+    /// Task re-runs recorded over the whole run (eviction-proof).
+    pub fn task_retries(&self) -> u64 {
+        self.task_retries
+    }
+
     /// Fraction of all completed batches (whole run, including evicted
     /// ones) that met the stability constraint.
     pub fn stable_fraction(&self) -> f64 {
@@ -273,6 +301,8 @@ mod tests {
             num_executors: 8,
             stages: 2,
             queue_len: 0,
+            executor_failures: 0,
+            task_retries: 0,
         }
     }
 
@@ -432,6 +462,61 @@ mod tests {
         // A cursor at (or past) the end yields an empty slice.
         assert!(l.since(l.completed()).is_empty());
         assert!(l.since(l.completed() + 5).is_empty());
+    }
+
+    #[test]
+    fn welford_aggregates_split_from_windowed_history() {
+        // The windowed history and the whole-run Welford summaries are
+        // independent state: after eviction the summaries must reflect
+        // every batch ever pushed, not just the retained suffix — and the
+        // retained suffix must disagree with them whenever the evicted
+        // prefix had a different distribution.
+        let mut l = Listener::with_window(4);
+        // Prefix (evicted later): slow batches, 9 s processing.
+        for id in 0..8 {
+            let t = id as f64 * 10.0;
+            l.on_batch_completed(metrics(t, t, t + 9.0, 10.0));
+        }
+        // Suffix (retained): fast batches, 3 s processing.
+        for id in 8..12 {
+            let t = id as f64 * 10.0;
+            l.on_batch_completed(metrics(t, t + 1.0, t + 4.0, 10.0));
+        }
+        assert!(l.history().len() < 12, "eviction must have happened");
+        let windowed_mean = l
+            .history()
+            .iter()
+            .map(|m| m.processing_time().as_secs_f64())
+            .sum::<f64>()
+            / l.history().len() as f64;
+        let whole_run = l.processing_summary();
+        assert_eq!(whole_run.n, 12);
+        assert!((whole_run.mean - (8.0 * 9.0 + 4.0 * 3.0) / 12.0).abs() < 1e-9);
+        assert!(
+            (windowed_mean - whole_run.mean).abs() > 1.0,
+            "windowed {windowed_mean} vs whole-run {} must differ",
+            whole_run.mean
+        );
+        // Scheduling-delay Welford: 8 zero-delay + 4 one-second batches.
+        let sched = l.scheduling_summary();
+        assert_eq!(sched.n, 12);
+        assert!((sched.mean - 4.0 / 12.0).abs() < 1e-9);
+        assert!(sched.std_dev > 0.0);
+    }
+
+    #[test]
+    fn fault_counters_survive_eviction() {
+        let mut l = Listener::with_window(2);
+        for id in 0..10 {
+            let mut m = batch(id);
+            m.executor_failures = if id == 1 { 2 } else { 0 };
+            m.task_retries = 3;
+            l.on_batch_completed(m);
+        }
+        // Batch 1 is long evicted; the whole-run counters still know it.
+        assert!(l.history().iter().all(|m| m.executor_failures == 0));
+        assert_eq!(l.executor_failures(), 2);
+        assert_eq!(l.task_retries(), 30);
     }
 
     #[test]

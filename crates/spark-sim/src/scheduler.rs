@@ -13,6 +13,7 @@
 //! being postulated.
 
 use crate::executor::Executor;
+use crate::fault::TaskFaultCtx;
 use crate::noise::NoiseModel;
 use nostop_simcore::{SimDuration, SimTime};
 use nostop_workloads::CostModel;
@@ -32,6 +33,9 @@ pub struct JobResult {
     /// Total executor-busy time across all tasks, µs — the numerator of
     /// the §3.1 resource-utilization story.
     pub busy_core_us: u64,
+    /// Task re-runs forced by injected transient failures (0 without a
+    /// fault context or outside failure windows).
+    pub task_retries: u32,
 }
 
 /// Slot state during list scheduling: `(available_at_us, executor index)`.
@@ -118,8 +122,12 @@ fn list_schedule(slots_vec: &mut Vec<Slot>, durations: &[u64], stage_start: u64)
 /// `executors` is the live set (launching ones join when ready); `fresh`
 /// executors pay `executor_init` before their first slot and their flag is
 /// cleared. `scratch` provides reusable buffers (see [`JobScratch`]);
-/// results are independent of the scratch's prior contents. Panics if
-/// `executors` is empty — the engine guarantees at least one.
+/// results are independent of the scratch's prior contents. `faults`
+/// threads the engine's fault windows through task placement: slowdown
+/// windows scale the slot's speed, and failure windows re-run tasks with
+/// a bounded Bernoulli retry loop (`None` is bit-identical to a fault-free
+/// build — no extra RNG draws). Panics if `executors` is empty — the
+/// engine guarantees at least one.
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_job(
     cost: &CostModel,
@@ -133,6 +141,7 @@ pub fn simulate_job(
     stages: u32,
     speculation: Option<Speculation>,
     scratch: &mut JobScratch,
+    mut faults: Option<TaskFaultCtx>,
 ) -> JobResult {
     assert!(!executors.is_empty(), "job needs at least one executor");
     let JobScratch {
@@ -166,6 +175,7 @@ pub fn simulate_job(
     let base = records / tasks_per_stage as u64;
     let rem = (records % tasks_per_stage as u64) as u32;
     let mut busy_core_us: u64 = 0;
+    let mut task_retries: u32 = 0;
 
     for stage in 0..stages {
         let stage_start = t_us + cost.stage_overhead_us.round() as u64;
@@ -192,8 +202,12 @@ pub fn simulate_job(
             if stage + 1 == stages {
                 work_us += cost.sink_us(recs);
             }
-            // CPU speed and contention scale compute time.
-            let speed = e.speed * noise.contention_factor(e.node, SimTime::from_micros(avail));
+            // CPU speed and contention scale compute time; an active
+            // straggler window slows the node further.
+            let mut speed = e.speed * noise.contention_factor(e.node, SimTime::from_micros(avail));
+            if let Some(f) = faults.as_ref() {
+                speed *= f.state.slowdown_factor(e.node, SimTime::from_micros(avail));
+            }
             work_us /= speed.max(0.05);
             // Stages after the first read shuffle output from the previous
             // stage; charge it against this node's disk.
@@ -204,7 +218,29 @@ pub fn simulate_job(
             // Per-task stochastic jitter.
             work_us *= noise.task_factor(cost.noise_sigma);
 
-            let dur = work_us.round().max(1.0) as u64;
+            let mut dur = work_us.round().max(1.0) as u64;
+            // Transient task failures: each attempt inside an active
+            // failure window fails independently; a failed attempt is
+            // re-run in place, up to the plan's retry bound, and the
+            // final attempt always succeeds (bounded-penalty model —
+            // real Spark would abort the job after maxFailures).
+            if let Some(f) = faults.as_mut() {
+                let p = f
+                    .state
+                    .task_failure_probability(SimTime::from_micros(avail));
+                if p > 0.0 {
+                    let bound = f.state.plan().max_task_retries;
+                    let mut attempts: u32 = 0;
+                    while attempts < bound && f.rng.bernoulli(p) {
+                        attempts += 1;
+                    }
+                    if attempts > 0 {
+                        let overhead = f.state.plan().retry_overhead.as_micros();
+                        dur = dur * (attempts as u64 + 1) + overhead * attempts as u64;
+                        task_retries += attempts;
+                    }
+                }
+            }
             durations.push(dur);
             let done = avail + dur;
             stage_end = stage_end.max(done);
@@ -253,6 +289,7 @@ pub fn simulate_job(
         stages,
         tasks_per_stage,
         busy_core_us,
+        task_retries,
     }
 }
 
@@ -293,6 +330,7 @@ mod tests {
             stages,
             None,
             &mut JobScratch::new(),
+            None,
         );
         r.finished_at - start
     }
@@ -322,6 +360,7 @@ mod tests {
             2,
             None,
             &mut JobScratch::new(),
+            None,
         );
         assert_eq!(r.tasks_per_stage, 50);
         assert_eq!(r.stages, 2);
@@ -372,6 +411,7 @@ mod tests {
                 2,
                 None,
                 &mut JobScratch::new(),
+                None,
             )
             .finished_at
                 - start
@@ -411,6 +451,7 @@ mod tests {
                 2,
                 None,
                 &mut JobScratch::new(),
+                None,
             )
             .finished_at
             .as_secs_f64()
@@ -438,6 +479,7 @@ mod tests {
                 2,
                 None,
                 &mut JobScratch::new(),
+                None,
             )
             .finished_at
             .as_secs_f64()
@@ -497,6 +539,7 @@ mod tests {
                 2,
                 spec,
                 &mut JobScratch::new(),
+                None,
             )
             .finished_at
             .as_secs_f64()
@@ -526,6 +569,7 @@ mod tests {
                 2,
                 spec,
                 &mut JobScratch::new(),
+                None,
             )
             .finished_at
         };
@@ -553,6 +597,7 @@ mod tests {
                     8,
                     spec,
                     &mut JobScratch::new(),
+                    None,
                 )
                 .finished_at
             };

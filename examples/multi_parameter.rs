@@ -68,6 +68,7 @@ impl StreamingSystem for FourKnobSystem {
             input_rate: 10_000.0,
             num_executors: self.config[1] as u32,
             queued_batches: 0,
+            executor_failures: 0,
         }
     }
     fn now_s(&self) -> f64 {
