@@ -1,0 +1,172 @@
+//! Microbenches for the DES hot-path structures, one per optimization:
+//! the calendar event queue vs the reference `BinaryHeap` queue, the
+//! per-job stage-cost memo vs recomputing the cost kernel per task, the
+//! ziggurat normal sampler, and the direct JSON writer/parser for the
+//! wire-format boundary. These pin the wins the engine-level numbers in
+//! `BENCH_perf.json` are built from.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nostop_core::listener::StatusReport;
+use nostop_simcore::{BinaryHeapEventQueue, EventQueue, SimRng, SimTime};
+use nostop_workloads::{CostModel, JobCostTable, WorkloadKind};
+use std::hint::black_box;
+
+/// A deterministic schedule shaped like the engine's access pattern:
+/// rounds of task completions land within ~2 s of a sliding `now`, with an
+/// occasional far batch timer, and each round drains everything due before
+/// the next round. Returns `(per-round event times, round horizons)`.
+fn event_rounds(per_round: usize) -> (Vec<Vec<SimTime>>, Vec<SimTime>) {
+    const ROUNDS: usize = 128;
+    let mut rng = SimRng::seed_from_u64(7);
+    let mut times = Vec::with_capacity(ROUNDS);
+    let mut horizons = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        let now = round as f64 * 0.25;
+        times.push(
+            (0..per_round)
+                .map(|_| {
+                    let horizon = if rng.bernoulli(0.05) { 40.0 } else { 2.0 };
+                    SimTime::from_secs_f64(now + rng.uniform(0.0, horizon))
+                })
+                .collect(),
+        );
+        horizons.push(SimTime::from_secs_f64(now + 0.25));
+    }
+    (times, horizons)
+}
+
+macro_rules! drive_queue {
+    ($queue:expr, $times:expr, $horizons:expr) => {{
+        let mut q = $queue;
+        let mut acc = 0u64;
+        for (round, horizon) in $times.iter().zip($horizons) {
+            for (i, &t) in round.iter().enumerate() {
+                q.schedule(t, i as u32);
+            }
+            while let Some((_, e)) = q.pop_until(*horizon) {
+                acc = acc.wrapping_add(e as u64);
+            }
+        }
+        while let Some((_, e)) = q.pop() {
+            acc = acc.wrapping_add(e as u64);
+        }
+        acc
+    }};
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    // Two in-flight scales: ~32 events matches a light cell (one
+    // completion per executor slot); ~512 matches heavy cells with deep
+    // backlogs, where the heap's O(log n) shows and the wheel stays O(1).
+    for per_round in [32usize, 512] {
+        let (times, horizons) = event_rounds(per_round);
+        let events: u64 = times.iter().map(|r| r.len() as u64).sum();
+        let mut group = c.benchmark_group(format!("event_queue_{per_round}"));
+        group.throughput(Throughput::Elements(events));
+        group.bench_function("calendar", |b| {
+            b.iter(|| black_box(drive_queue!(EventQueue::new(), times, &horizons)));
+        });
+        group.bench_function("binary_heap", |b| {
+            b.iter(|| black_box(drive_queue!(BinaryHeapEventQueue::new(), times, &horizons)));
+        });
+        group.finish();
+    }
+}
+
+fn bench_task_kernel(c: &mut Criterion) {
+    // One job's worth of task costs: the memoized table computes each
+    // stage class once, the old path re-derived the kernel per task.
+    const TASKS_PER_STAGE: u32 = 64;
+    const STAGES: u32 = 6;
+    const RECORDS: u64 = 1_800_000;
+    let cost = CostModel::preset(WorkloadKind::WordCount);
+    let base = RECORDS / TASKS_PER_STAGE as u64;
+    let mut group = c.benchmark_group("task_kernel");
+    group.throughput(Throughput::Elements((TASKS_PER_STAGE * STAGES) as u64));
+    group.bench_function("memoized_table", |b| {
+        b.iter(|| {
+            let table = JobCostTable::new(&cost, RECORDS, TASKS_PER_STAGE, STAGES);
+            let mut acc = 0.0;
+            for s in 0..STAGES {
+                let sc = table.stage(s);
+                for task in 0..TASKS_PER_STAGE {
+                    let bucket = (task as u64 % 2) as usize;
+                    acc += sc.cpu_us[bucket] + sc.shuffle_bytes[bucket];
+                }
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("per_task_kernel", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for s in 0..STAGES {
+                for task in 0..TASKS_PER_STAGE {
+                    let recs = base + task as u64 % 2;
+                    let mut w = cost.task_cpu_us(recs);
+                    if s + 1 == STAGES {
+                        w += cost.sink_us(recs);
+                    }
+                    let shuffle = if s > 0 { cost.shuffle_bytes(recs) } else { 0.0 };
+                    acc += w + shuffle;
+                }
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn bench_normal_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("standard_normal", |b| {
+        let mut rng = SimRng::seed_from_u64(11);
+        b.iter(|| black_box(rng.standard_normal()));
+    });
+    group.bench_function("noise_factor", |b| {
+        let mut rng = SimRng::seed_from_u64(11);
+        b.iter(|| black_box(rng.noise_factor(0.08)));
+    });
+    group.finish();
+}
+
+fn bench_json_boundary(c: &mut Criterion) {
+    let report = StatusReport {
+        batch_id: 4217,
+        submission_time_ms: 63_255_000,
+        processing_start_time_ms: 63_255_040,
+        processing_end_time_ms: 63_268_912,
+        num_records: 1_800_000,
+        arrived_records: 1_800_321,
+        batch_interval_ms: 15_000,
+        ingest_window_ms: 15_000,
+        num_executors: 14,
+        queued_batches: 2,
+        executor_failures: 1,
+    };
+    let encoded = report.to_json();
+    let mut group = c.benchmark_group("json_boundary");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("write_reuse_buffer", |b| {
+        let mut buf = String::with_capacity(encoded.len());
+        b.iter(|| {
+            buf.clear();
+            report.write_json(&mut buf);
+            black_box(buf.len())
+        });
+    });
+    group.bench_function("parse_canonical", |b| {
+        b.iter(|| black_box(StatusReport::from_json(&encoded).expect("valid report")));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_task_kernel,
+    bench_normal_sampler,
+    bench_json_boundary
+);
+criterion_main!(benches);

@@ -13,8 +13,14 @@
 //! Both sweeps fan their independent cells (rule 1: one per scale-up
 //! seed; rule 2: one per window size) over the [`nostop_bench::parallel`]
 //! fabric; merged output is identical for any `NOSTOP_JOBS`.
+//!
+//! The rule-2 sweep computes every window mean from the *same* per-seed
+//! batch stream — the engine is deterministic and batch streams are
+//! prefix-stable, so a [`ReplayCache`] simulates each seed once at the
+//! widest window and every narrower window reads a prefix of that trace.
 
 use nostop_bench::parallel::map_cells;
+use nostop_bench::replay::ReplayCache;
 use nostop_bench::report::{f, print_section, Table};
 use nostop_core::system::StreamingSystem;
 use nostop_datagen::rate::ConstantRate;
@@ -47,20 +53,35 @@ fn scale_up_cell(seed: u64) -> Option<(f64, f64)> {
     (post.len() >= 3).then(|| (post[0], post[2]))
 }
 
+/// Rule-2 trace: `trace_len` settled processing times for one seed
+/// (warm-up batch discarded). Every window size reads a prefix of this.
+fn seed_trace(seed: u64, trace_len: usize) -> Vec<f64> {
+    let params = EngineParams::paper(WorkloadKind::LogisticRegression, seed);
+    let engine = StreamingEngine::new(
+        params,
+        StreamConfig::new(SimDuration::from_secs(15), 14),
+        Box::new(ConstantRate::new(10_000.0)),
+    );
+    let mut sys = SimSystem::new(engine);
+    sys.next_batch(); // warm-up
+    (0..trace_len)
+        .map(|_| sys.next_batch().processing_s)
+        .collect()
+}
+
 /// Rule-2 cell: one window size — the std of the window-mean over seeds.
-fn window_noise_cell(window: usize) -> f64 {
+/// Traces come from the shared cache; the fingerprint names everything the
+/// trace depends on (workload, config, rate, seed, length).
+fn window_noise_cell(
+    window: usize,
+    traces: &ReplayCache<String, Vec<f64>>,
+    trace_len: usize,
+) -> f64 {
     let mut means = Vec::new();
     for seed in 0..24u64 {
-        let params = EngineParams::paper(WorkloadKind::LogisticRegression, seed);
-        let engine = StreamingEngine::new(
-            params,
-            StreamConfig::new(SimDuration::from_secs(15), 14),
-            Box::new(ConstantRate::new(10_000.0)),
-        );
-        let mut sys = SimSystem::new(engine);
-        sys.next_batch(); // warm-up
-        let w: Vec<f64> = (0..window).map(|_| sys.next_batch().processing_s).collect();
-        means.push(w.iter().sum::<f64>() / window as f64);
+        let key = format!("lr/15s/14ex/10000rps/seed{seed}/len{trace_len}");
+        let trace = traces.get_or_compute(key, || seed_trace(seed, trace_len));
+        means.push(trace[..window].iter().sum::<f64>() / window as f64);
     }
     summarize(&means).std_dev
 }
@@ -92,11 +113,18 @@ fn main() {
 
     // --- Rule 2: window size vs measurement noise ---
     const WINDOWS: [usize; 5] = [1, 2, 3, 6, 12];
-    let noise = map_cells(&WINDOWS, |&w| window_noise_cell(w));
+    let trace_len = *WINDOWS.iter().max().expect("non-empty window sweep");
+    let traces: ReplayCache<String, Vec<f64>> = ReplayCache::new();
+    let noise = map_cells(&WINDOWS, |&w| window_noise_cell(w, &traces, trace_len));
     let mut t2 = Table::new(&["window (batches)", "std of window-mean processing_s"]);
     for (&window, &std) in WINDOWS.iter().zip(&noise) {
         t2.row(&[window.to_string(), f(std, 3)]);
     }
+    eprintln!(
+        "[replay] rule-2 traces: {} simulated, {} replayed from cache",
+        traces.misses(),
+        traces.hits()
+    );
     print_section(
         "Ablation §5.4 rule 2: averaging window vs measurement noise \
          (LR, iteration-count variance dominates)",

@@ -19,17 +19,26 @@
 //! for the bounded-listener memory guarantee) and the worker counts.
 //! Non-deterministic by construction (it measures wall time); everything
 //! else in the harness stays deterministic.
+//!
+//! Engine cells run `NOSTOP_PERF_REPEATS` times (default 3) and keep the
+//! best wall time — on shared hosts the best-of-N is the least polluted
+//! estimate of what the code costs.
+//!
+//! `perf_report --smoke [path]` is the CI guard: it re-times the engine
+//! matrix and exits non-zero if any cell panics or lands more than 25%
+//! below the throughput committed in `BENCH_perf.json` (or `path`).
+//! Nothing is written in smoke mode.
 
 use nostop_baselines::BayesOpt;
 use nostop_bench::driver::{
     make_system, measure_config, nostop_config, paper_rate, run_nostop, run_tuner,
 };
-use nostop_bench::parallel::{grid, jobs, map_cells};
+use nostop_bench::parallel::{grid, jobs, map_cells_weighted};
 use nostop_core::system::StreamingSystem;
 use nostop_datagen::rate::ConstantRate;
 use nostop_simcore::json::{self, Json};
 use nostop_simcore::SimDuration;
-use nostop_workloads::WorkloadKind;
+use nostop_workloads::{CostModel, WorkloadKind};
 use spark_sim::{EngineParams, SimSystem, StreamConfig, StreamingEngine};
 use std::time::Instant;
 
@@ -37,11 +46,32 @@ const ENGINE_BATCHES: usize = 300;
 const DRIVER_SEEDS: [u64; 2] = [11, 22];
 const FIG8_ROUNDS: u64 = 12;
 const BO_ITERATIONS: usize = 15;
+/// Throughput floor for `--smoke`: fail below 75% of the committed number.
+const SMOKE_FLOOR: f64 = 0.75;
+
+/// The committed engine matrix: `(workload, interval_s, executors)`.
+const MATRIX: [(WorkloadKind, f64, u32); 6] = [
+    (WorkloadKind::LogisticRegression, 15.0, 14),
+    (WorkloadKind::LinearRegression, 15.0, 14),
+    (WorkloadKind::WordCount, 15.0, 8),
+    (WorkloadKind::PageAnalyze, 15.0, 8),
+    (WorkloadKind::WordCount, 2.0, 8),
+    (WorkloadKind::WordCount, 40.0, 8),
+];
 
 fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Engine-cell repeat count: `NOSTOP_PERF_REPEATS` (clamped ≥ 1), else 3.
+fn engine_repeats() -> usize {
+    std::env::var("NOSTOP_PERF_REPEATS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(3usize)
+        .max(1)
 }
 
 /// One engine-matrix cell: simulate `ENGINE_BATCHES` batches at a fixed
@@ -84,13 +114,30 @@ fn fig8_style_cell(kind: WorkloadKind, seed: u64) -> f64 {
     run.virtual_time_s + bo.virtual_time_s
 }
 
+/// Relative host-time weight of one driver cell: the cost model's
+/// closed-form estimate for a nominal paper batch. Only the ordering
+/// matters (heaviest workloads get scheduled first).
+fn cell_weight(kind: WorkloadKind) -> f64 {
+    let rate = match kind {
+        WorkloadKind::LogisticRegression | WorkloadKind::LinearRegression => 10_000.0,
+        _ => 120_000.0,
+    };
+    CostModel::preset(kind).estimate_processing_secs((rate * 15.0) as u64, 8, 75)
+}
+
 /// Time one driver grid at a given worker count; returns `(wall_ms, sum)`
 /// where the sum pins the work against dead-code elimination and lets the
 /// two passes assert they computed the same thing.
 fn time_grid(jobs_env: usize, cell: impl Fn(WorkloadKind, u64) -> f64 + Sync) -> (f64, f64) {
     std::env::set_var("NOSTOP_JOBS", jobs_env.to_string());
     let cells = grid(&WorkloadKind::ALL, &DRIVER_SEEDS);
-    let (results, wall) = time_ms(|| map_cells(&cells, |&(kind, seed)| cell(kind, seed)));
+    let (results, wall) = time_ms(|| {
+        map_cells_weighted(
+            &cells,
+            |&(kind, _)| cell_weight(kind),
+            |&(kind, seed)| cell(kind, seed),
+        )
+    });
     (wall, results.iter().sum())
 }
 
@@ -100,24 +147,97 @@ fn peak_rss_kb() -> Option<u64> {
     line.split_whitespace().nth(1)?.parse().ok()
 }
 
+/// Best-of-`repeats` engine cell: `(virtual_s, best_wall_ms)`.
+fn best_engine_cell(
+    kind: WorkloadKind,
+    interval: f64,
+    executors: u32,
+    repeats: usize,
+) -> (f64, f64) {
+    let mut best: Option<(f64, f64)> = None;
+    for _ in 0..repeats {
+        let (virtual_s, wall) = time_ms(|| run_engine_cell(kind, interval, executors));
+        if best.map(|(_, w)| wall < w).unwrap_or(true) {
+            best = Some((virtual_s, wall));
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+/// CI smoke guard: re-time the engine matrix and compare against the
+/// committed report at `path`. Returns the process exit code.
+fn smoke(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("smoke: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let committed = Json::parse(&text).expect("committed report parses");
+    let rows = committed
+        .field_array("engine_matrix")
+        .expect("engine_matrix array");
+    let repeats = engine_repeats();
+    let mut failures = 0;
+    for &(kind, interval, executors) in &MATRIX {
+        let baseline = rows.iter().find(|r| {
+            r.field_str("workload") == Ok(kind.name())
+                && r.field_f64("interval_s") == Ok(interval)
+                && r.field_u64("executors") == Ok(executors as u64)
+        });
+        let Some(base_bps) = baseline.and_then(|r| r.field_f64("sim_batches_per_s").ok()) else {
+            eprintln!(
+                "smoke: {path} has no row for {} @ {interval}s × {executors} — \
+                 regenerate the committed report",
+                kind.name()
+            );
+            failures += 1;
+            continue;
+        };
+        let (_, wall) = best_engine_cell(kind, interval, executors, repeats);
+        let bps = ENGINE_BATCHES as f64 / (wall / 1e3);
+        let ratio = bps / base_bps;
+        let verdict = if ratio >= SMOKE_FLOOR { "ok" } else { "FAIL" };
+        println!(
+            "smoke {:<22} {interval:>5.1}s x{executors:<3} {bps:>9.0} b/s vs {base_bps:>9.0} committed  ({ratio:.2}x) {verdict}",
+            kind.name()
+        );
+        if ratio < SMOKE_FLOOR {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("smoke: {failures} engine cell(s) regressed >25% vs {path}");
+        1
+    } else {
+        println!("smoke: engine matrix within 25% of committed throughput");
+        0
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke_mode = args.iter().any(|a| a == "--smoke");
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_perf.json".to_string());
+    if smoke_mode {
+        std::process::exit(smoke(&path));
+    }
+
     let configured_jobs = jobs();
     let parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
 
-    // --- Layer 1: engine matrix, single-threaded ---
-    let matrix: [(WorkloadKind, f64, u32); 6] = [
-        (WorkloadKind::LogisticRegression, 15.0, 14),
-        (WorkloadKind::LinearRegression, 15.0, 14),
-        (WorkloadKind::WordCount, 15.0, 8),
-        (WorkloadKind::PageAnalyze, 15.0, 8),
-        (WorkloadKind::WordCount, 2.0, 8),
-        (WorkloadKind::WordCount, 40.0, 8),
-    ];
+    // --- Layer 1: engine matrix, single-threaded, best-of-N ---
+    let repeats = engine_repeats();
     let mut engine_rows = Vec::new();
-    for &(kind, interval, executors) in &matrix {
-        let (virtual_s, wall) = time_ms(|| run_engine_cell(kind, interval, executors));
+    for &(kind, interval, executors) in &MATRIX {
+        let (virtual_s, wall) = best_engine_cell(kind, interval, executors, repeats);
         engine_rows.push(json::obj(vec![
             ("workload", json::str(kind.name())),
             ("interval_s", json::num(interval)),
@@ -158,6 +278,9 @@ fn main() {
             ("parallel_wall_ms", json::num(parallel_ms)),
             ("parallel_jobs", json::uint(configured_jobs as u64)),
             ("speedup", json::num(serial_ms / parallel_ms)),
+            // A single-core host cannot show fan-out speedup; flag the row
+            // so downstream checks don't read ~1× as a regression.
+            ("degraded", Json::Bool(parallelism == 1)),
         ]));
     }
 
@@ -165,6 +288,7 @@ fn main() {
         ("schema", json::str("nostop-perf/1")),
         ("configured_jobs", json::uint(configured_jobs as u64)),
         ("available_parallelism", json::uint(parallelism as u64)),
+        ("engine_repeats", json::uint(repeats as u64)),
         ("engine_matrix", Json::Arr(engine_rows)),
         ("driver_grids", Json::Arr(driver_rows)),
         (
@@ -174,9 +298,6 @@ fn main() {
     ]);
 
     let text = report.to_string_pretty();
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_perf.json".to_string());
     std::fs::write(&path, format!("{text}\n")).expect("write BENCH_perf.json");
     println!("{text}");
     eprintln!("wrote {path}");

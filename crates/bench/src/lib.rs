@@ -24,4 +24,5 @@
 
 pub mod driver;
 pub mod parallel;
+pub mod replay;
 pub mod report;

@@ -73,6 +73,58 @@ where
         .collect()
 }
 
+/// [`map_cells`], but with longest-estimated-first scheduling.
+///
+/// `weight` estimates each cell's cost (any consistent unit — the drivers
+/// use the cost model's `estimate_processing_secs`). Workers pull cells in
+/// descending weight order, so the heaviest cell starts first instead of
+/// landing on an almost-drained pool and serializing the tail (the classic
+/// LPT heuristic). Results are still merged by cell index, so the output
+/// is byte-identical to [`map_cells`] and to a serial run; only wall-clock
+/// utilization changes. Ties keep cell order, making the pull order fully
+/// deterministic.
+pub fn map_cells_weighted<I, O, F, W>(cells: &[I], weight: W, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+    W: Fn(&I) -> f64,
+{
+    let n = cells.len();
+    let workers = jobs().min(n);
+    if workers <= 1 {
+        return cells.iter().map(&f).collect();
+    }
+    let weights: Vec<f64> = cells.iter().map(&weight).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    // `total_cmp` keeps the comparator a true total order even if a weight
+    // estimate comes back NaN (such cells sort as "heaviest").
+    order.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]).then(a.cmp(&b)));
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let rank = cursor.fetch_add(1, Ordering::Relaxed);
+                if rank >= n {
+                    break;
+                }
+                let i = order[rank];
+                let out = f(&cells[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every cell below the cursor was computed")
+        })
+        .collect()
+}
+
 /// The full experiment grid for per-workload × per-seed protocols: one
 /// cell per `(workload, seed)` pair, workloads outermost — the iteration
 /// order every figure binary already used serially.
@@ -111,6 +163,30 @@ mod tests {
         let serial: Vec<_> = cells.iter().map(slow).collect();
         let parallel = map_cells(&cells, slow);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn weighted_map_matches_serial_output() {
+        let cells: Vec<u64> = (0..40).collect();
+        let slow = |&i: &u64| {
+            let mut acc = i;
+            for _ in 0..(i % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (i, acc)
+        };
+        let serial: Vec<_> = cells.iter().map(slow).collect();
+        // Weight deliberately disagrees with the cell order (and has ties)
+        // so the pull order differs from the index order.
+        let weighted = map_cells_weighted(&cells, |&i| (i % 7) as f64, slow);
+        assert_eq!(serial, weighted);
+    }
+
+    #[test]
+    fn weighted_map_tolerates_nan_weights() {
+        let cells: Vec<u64> = (0..8).collect();
+        let out = map_cells_weighted(&cells, |&i| if i % 2 == 0 { f64::NAN } else { 1.0 }, |&i| i);
+        assert_eq!(out, cells);
     }
 
     #[test]

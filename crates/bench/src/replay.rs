@@ -1,0 +1,144 @@
+//! Warm-replay cache for experiment grids.
+//!
+//! Several experiment protocols evaluate many *views* of the same
+//! underlying simulated trajectory — e.g. the §5.4 window sweep computes a
+//! statistic over the first `w` batches of an identical engine run for
+//! several `w`. Re-simulating the trajectory per view multiplies host time
+//! by the number of views for no new information: the engine is
+//! deterministic per seed, and a batch stream is prefix-stable (batch `k`
+//! does not depend on how many batches are simulated after it).
+//!
+//! [`ReplayCache`] memoizes such cells by an explicit fingerprint key. It
+//! is deliberately opt-in — a driver constructs one and threads it through
+//! the cells that share work. Two rules keep it honest:
+//!
+//! * **Key everything the cell output depends on.** The fingerprint must
+//!   cover workload, seed, configuration, and run length — anything that
+//!   would change a single byte of the result. When in doubt, don't cache.
+//! * **Never inside timed comparisons.** A cache hit replays work done in
+//!   another arm, so wrapping cells that a benchmark times (for example
+//!   the serial-vs-parallel passes of `perf_report`) would fake the
+//!   measurement. Caches belong in figure/ablation drivers where only the
+//!   *values* matter.
+//!
+//! Concurrency: reads and inserts take a mutex, but `compute` runs outside
+//! it, so parallel workers never serialize on each other's simulations.
+//! Two workers racing on the same key may both compute it; cells are
+//! deterministic, so both produce the same value and the first insert
+//! wins.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A memo table over deterministic experiment cells.
+pub struct ReplayCache<K, V> {
+    entries: Mutex<HashMap<K, V>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ReplayCache<K, V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ReplayCache {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The cached value for `key`, computing and storing it on a miss.
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.entries.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = compute();
+        self.entries
+            .lock()
+            .expect("cache poisoned")
+            .entry(key)
+            .or_insert_with(|| v.clone());
+        v
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct keys stored.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache poisoned").len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for ReplayCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_lookup_replays_without_computing() {
+        let cache: ReplayCache<u64, Vec<f64>> = ReplayCache::new();
+        let mut computes = 0;
+        for _ in 0..3 {
+            let v = cache.get_or_compute(7, || {
+                computes += 1;
+                vec![1.0, 2.0]
+            });
+            assert_eq!(v, vec![1.0, 2.0]);
+        }
+        assert_eq!(computes, 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn first_insert_wins_on_a_racing_key() {
+        let cache: ReplayCache<u8, u32> = ReplayCache::new();
+        assert_eq!(cache.get_or_compute(1, || 10), 10);
+        // A second compute for the same key returns its own value (the
+        // caller already ran it) but does not overwrite the stored one.
+        assert_eq!(cache.get_or_compute(1, || 99), 10);
+        assert_eq!(cache.get_or_compute(1, || unreachable!()), 10);
+    }
+
+    #[test]
+    fn concurrent_workers_share_one_cache() {
+        let cache: ReplayCache<u64, u64> = ReplayCache::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for k in 0..32u64 {
+                        assert_eq!(cache.get_or_compute(k, || k * k), k * k);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 32);
+        assert_eq!(cache.hits() + cache.misses(), 128);
+        // Every key is computed at least once; racing workers may compute
+        // a key redundantly, but first-insert-wins keeps len at 32.
+        assert!(cache.misses() >= 32);
+    }
+}

@@ -87,37 +87,128 @@ impl StatusReport {
         }
     }
 
+    /// The canonical key order of the wire format. Every field is a
+    /// non-negative integer, which is what makes the direct writer and the
+    /// fast-path parser below so simple.
+    const KEYS: [&'static str; 11] = [
+        "batchId",
+        "submissionTimeMs",
+        "processingStartTimeMs",
+        "processingEndTimeMs",
+        "numRecords",
+        "arrivedRecords",
+        "batchIntervalMs",
+        "ingestWindowMs",
+        "numExecutors",
+        "queuedBatches",
+        "executorFailures",
+    ];
+
+    fn field_values(&self) -> [u64; 11] {
+        [
+            self.batch_id,
+            self.submission_time_ms,
+            self.processing_start_time_ms,
+            self.processing_end_time_ms,
+            self.num_records,
+            self.arrived_records,
+            self.batch_interval_ms,
+            self.ingest_window_ms,
+            self.num_executors as u64,
+            self.queued_batches as u64,
+            self.executor_failures as u64,
+        ]
+    }
+
     /// Serialize to the JSON wire format (camelCase keys, fixed key order).
     pub fn to_json(&self) -> String {
-        json::obj(vec![
-            ("batchId", json::uint(self.batch_id)),
-            ("submissionTimeMs", json::uint(self.submission_time_ms)),
-            (
-                "processingStartTimeMs",
-                json::uint(self.processing_start_time_ms),
-            ),
-            (
-                "processingEndTimeMs",
-                json::uint(self.processing_end_time_ms),
-            ),
-            ("numRecords", json::uint(self.num_records)),
-            ("arrivedRecords", json::uint(self.arrived_records)),
-            ("batchIntervalMs", json::uint(self.batch_interval_ms)),
-            ("ingestWindowMs", json::uint(self.ingest_window_ms)),
-            ("numExecutors", json::uint(self.num_executors as u64)),
-            ("queuedBatches", json::uint(self.queued_batches as u64)),
-            (
-                "executorFailures",
-                json::uint(self.executor_failures as u64),
-            ),
-        ])
-        .to_string()
+        let mut out = String::with_capacity(256);
+        self.write_json(&mut out);
+        out
+    }
+
+    /// Append the JSON wire format to `out` without allocating.
+    ///
+    /// This is the report's hot path — it runs once per simulated batch —
+    /// so it writes the encoding directly instead of building a [`Json`]
+    /// tree first. The output is byte-identical to serializing the tree
+    /// (a unit test pins that equivalence).
+    pub fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (key, value)) in Self::KEYS.iter().zip(self.field_values()).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(key);
+            out.push_str("\":");
+            push_u64(out, value);
+        }
+        out.push('}');
+    }
+
+    /// Strict scanner for the canonical encoding `write_json` emits: the
+    /// eleven known keys in order, bare integer values, no whitespace.
+    /// Returns `None` on any deviation so the caller can fall back to the
+    /// general parser — this is an optimization, not a format change.
+    fn parse_canonical(text: &str) -> Option<[u64; 11]> {
+        fn eat(b: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+            if b[*pos..].starts_with(lit) {
+                *pos += lit.len();
+                true
+            } else {
+                false
+            }
+        }
+        fn digits(b: &[u8], pos: &mut usize) -> Option<u64> {
+            let start = *pos;
+            let mut v: u64 = 0;
+            while let Some(d) = b.get(*pos).filter(|c| c.is_ascii_digit()) {
+                v = v.checked_mul(10)?.checked_add((d - b'0') as u64)?;
+                *pos += 1;
+            }
+            (*pos > start).then_some(v)
+        }
+        let b = text.as_bytes();
+        let mut pos = 0;
+        let mut values = [0u64; 11];
+        if !eat(b, &mut pos, b"{") {
+            return None;
+        }
+        for (i, key) in Self::KEYS.iter().enumerate() {
+            if i > 0 && !eat(b, &mut pos, b",") {
+                return None;
+            }
+            if !eat(b, &mut pos, b"\"")
+                || !eat(b, &mut pos, key.as_bytes())
+                || !eat(b, &mut pos, b"\":")
+            {
+                return None;
+            }
+            values[i] = digits(b, &mut pos)?;
+        }
+        (eat(b, &mut pos, b"}") && pos == b.len()).then_some(values)
     }
 
     /// Parse from the JSON wire format. `arrivedRecords`,
     /// `ingestWindowMs`, and `executorFailures` are optional on the wire
     /// and default to 0.
     pub fn from_json(text: &str) -> Result<Self, json::Error> {
+        if let Some(v) = Self::parse_canonical(text) {
+            return Ok(StatusReport {
+                batch_id: v[0],
+                submission_time_ms: v[1],
+                processing_start_time_ms: v[2],
+                processing_end_time_ms: v[3],
+                num_records: v[4],
+                arrived_records: v[5],
+                batch_interval_ms: v[6],
+                ingest_window_ms: v[7],
+                num_executors: v[8] as u32,
+                queued_batches: v[9] as u32,
+                executor_failures: v[10] as u32,
+            });
+        }
         let v = Json::parse(text)?;
         Ok(StatusReport {
             batch_id: v.field_u64("batchId")?,
@@ -133,6 +224,21 @@ impl StatusReport {
             executor_failures: v.field_u64_or_zero("executorFailures")? as u32,
         })
     }
+}
+
+/// Append a decimal `u64` without going through the `fmt` machinery.
+fn push_u64(out: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("decimal digits are ASCII"));
 }
 
 #[cfg(test)]
@@ -201,5 +307,56 @@ mod tests {
         let mut r = report();
         r.processing_start_time_ms = 0; // bogus listener clock
         assert_eq!(r.scheduling_delay_ms(), 0);
+    }
+
+    /// The direct writer must emit exactly what serializing a [`Json`]
+    /// tree with the same fields would — the wire format is pinned. (Only
+    /// up to 2^53: the tree writer routes integers through `f64` and is
+    /// lossy beyond that, where the direct writer stays exact.)
+    #[test]
+    fn direct_writer_matches_tree_serialization() {
+        let mut extreme = report();
+        extreme.batch_id = 0;
+        extreme.num_records = (1u64 << 53) - 1;
+        extreme.executor_failures = u32::MAX;
+        for r in [report(), extreme] {
+            let tree = json::obj(
+                StatusReport::KEYS
+                    .iter()
+                    .zip(r.field_values())
+                    .map(|(k, v)| (*k, json::uint(v)))
+                    .collect(),
+            )
+            .to_string();
+            assert_eq!(r.to_json(), tree);
+        }
+    }
+
+    /// The canonical fast-path parser and the general JSON parser must
+    /// agree — on canonical text directly, and via fallback on anything
+    /// else (whitespace, reordering, missing optional fields).
+    #[test]
+    fn fast_parse_agrees_with_general_parse() {
+        let r = report();
+        let canonical = r.to_json();
+        assert_eq!(
+            StatusReport::parse_canonical(&canonical),
+            Some(r.field_values())
+        );
+        assert_eq!(StatusReport::from_json(&canonical).unwrap(), r);
+
+        let spaced = canonical.replace(':', ": ");
+        assert_eq!(StatusReport::parse_canonical(&spaced), None);
+        assert_eq!(StatusReport::from_json(&spaced).unwrap(), r);
+
+        // u64::MAX in the tree writer survives the fast path too.
+        let mut big = r.clone();
+        big.num_records = u64::MAX;
+        assert_eq!(StatusReport::from_json(&big.to_json()).unwrap(), big);
+
+        // Digits overflowing u64 must punt to the general parser rather
+        // than wrap silently.
+        let overflow = canonical.replace("50000", "99999999999999999999999");
+        assert_eq!(StatusReport::parse_canonical(&overflow), None);
     }
 }

@@ -27,6 +27,14 @@ pub trait RateProcess: Send {
     fn bounds(&self) -> Option<(f64, f64)> {
         None
     }
+
+    /// `Some(rate)` when the process returns this exact value for every
+    /// `t`. Lets the generator skip the per-step virtual dispatch; the
+    /// integration arithmetic is unchanged, so production is bit-identical
+    /// either way.
+    fn constant(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// A constant arrival rate — the idealized regime prior work assumes.
@@ -50,6 +58,9 @@ impl RateProcess for ConstantRate {
     }
     fn bounds(&self) -> Option<(f64, f64)> {
         Some((self.rate, self.rate))
+    }
+    fn constant(&self) -> Option<f64> {
+        Some(self.rate)
     }
 }
 

@@ -2,7 +2,18 @@
 //!
 //! Events are ordered by their scheduled [`SimTime`]; events scheduled for
 //! the same instant pop in insertion (FIFO) order, which keeps simulations
-//! deterministic regardless of heap internals.
+//! deterministic regardless of queue internals.
+//!
+//! The default [`EventQueue`] is an index-bucketed *calendar queue*: a
+//! time-wheel of `2^k`-microsecond buckets covering a sliding window, with a
+//! min-heap overflow level for events beyond the window and a (rare) sorted
+//! "past" level for events scheduled before the wheel origin. Amortised cost
+//! is O(1) per operation when event times are spread across the window, and
+//! the pop order is exactly the `(time, insertion seq)` minimum — the same
+//! total order the previous binary-heap implementation produced.
+//!
+//! [`BinaryHeapEventQueue`] is that previous implementation, retained as the
+//! reference model for differential tests.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -38,22 +49,25 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
-/// A time-ordered event queue with stable FIFO tie-breaking.
-pub struct EventQueue<E> {
+/// The pre-calendar binary-heap queue, kept as a reference implementation.
+///
+/// Differential tests pin [`EventQueue`]'s pop order (including same-instant
+/// FIFO ties) against this model on randomized schedules.
+pub struct BinaryHeapEventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for BinaryHeapEventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> BinaryHeapEventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue {
+        BinaryHeapEventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
         }
@@ -98,6 +112,268 @@ impl<E> EventQueue<E> {
     /// Drop all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+}
+
+/// Number of wheel buckets (power of two).
+const WHEEL_BUCKETS: usize = 256;
+/// Default bucket width exponent: 2^13 µs ≈ 8.2 ms per bucket, so the wheel
+/// window spans ~2.1 s — comfortably covering a micro-batch interval's worth
+/// of in-flight events while keeping far-future cuts in the overflow level.
+const DEFAULT_TICK_SHIFT: u32 = 13;
+
+/// An event beyond the wheel window, min-ordered by `(at_us, seq)` on a
+/// max-`BinaryHeap` via the inverted comparison.
+struct Far<E> {
+    at_us: u64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Far<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_us == other.at_us && self.seq == other.seq
+    }
+}
+impl<E> Eq for Far<E> {}
+impl<E> PartialOrd for Far<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Far<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at_us
+            .cmp(&self.at_us)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with stable FIFO tie-breaking, implemented as
+/// an index-bucketed calendar queue (time-wheel + heap overflow).
+pub struct EventQueue<E> {
+    /// Wheel buckets. Bucket `i` holds events with
+    /// `start_us + i*tick <= at_us < start_us + (i+1)*tick`, unordered;
+    /// pops select the `(at, seq)` minimum by linear scan.
+    wheel: Vec<Vec<(u64, u64, E)>>,
+    /// Events at or beyond the wheel window: a min-heap on `(at, seq)`, so
+    /// far-future schedules cost O(log n) instead of a sorted-`Vec` insert's
+    /// O(n) memmove.
+    overflow: BinaryHeap<Far<E>>,
+    /// Events scheduled before `start_us` (possible only by scheduling in
+    /// the "past" after the wheel advanced), sorted descending likewise.
+    past: Vec<(u64, u64, E)>,
+    /// Inclusive lower bound of the wheel window, in µs, tick-aligned.
+    start_us: u64,
+    /// First wheel bucket that may be non-empty (cursor hint).
+    cur: usize,
+    /// log2 of the bucket width in µs.
+    tick_shift: u32,
+    len: usize,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the default bucket width.
+    pub fn new() -> Self {
+        Self::with_tick_shift(DEFAULT_TICK_SHIFT)
+    }
+
+    /// An empty queue whose wheel buckets span `2^tick_shift` µs each.
+    pub fn with_tick_shift(tick_shift: u32) -> Self {
+        assert!(tick_shift < 40, "bucket width out of range");
+        EventQueue {
+            wheel: (0..WHEEL_BUCKETS).map(|_| Vec::new()).collect(),
+            overflow: BinaryHeap::new(),
+            past: Vec::new(),
+            start_us: 0,
+            cur: 0,
+            tick_shift,
+            len: 0,
+            next_seq: 0,
+        }
+    }
+
+    #[inline]
+    fn window_us(&self) -> u64 {
+        (WHEEL_BUCKETS as u64) << self.tick_shift
+    }
+
+    /// Schedule `event` to fire at instant `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let at_us = at.as_micros();
+        self.len += 1;
+        if at_us < self.start_us {
+            let key = (at_us, seq);
+            let pos = self.past.partition_point(|&(a, s, _)| (a, s) > key);
+            self.past.insert(pos, (at_us, seq, event));
+        } else if at_us - self.start_us < self.window_us() {
+            let idx = ((at_us - self.start_us) >> self.tick_shift) as usize;
+            self.wheel[idx].push((at_us, seq, event));
+            if idx < self.cur {
+                self.cur = idx;
+            }
+        } else {
+            self.overflow.push(Far { at_us, seq, event });
+        }
+    }
+
+    /// Index within `self.wheel[self.cur..]`-style search of the first
+    /// non-empty bucket, advancing the cursor past drained buckets.
+    fn advance_to_nonempty(&mut self) -> Option<usize> {
+        while self.cur < WHEEL_BUCKETS {
+            if !self.wheel[self.cur].is_empty() {
+                return Some(self.cur);
+            }
+            self.cur += 1;
+        }
+        None
+    }
+
+    /// Rotate the wheel forward so it covers the window starting at the
+    /// earliest overflow event, then redistribute overflow entries that now
+    /// fall inside it. Requires the wheel and `past` to be empty.
+    fn rotate(&mut self) {
+        let Some(first) = self.overflow.peek() else {
+            return;
+        };
+        self.start_us = (first.at_us >> self.tick_shift) << self.tick_shift;
+        self.cur = 0;
+        let window = self.window_us();
+        // Pull every overflow event that now lands inside the window. The
+        // heap pops them min-first, so the wheel fills in one pass.
+        while let Some(f) = self.overflow.peek() {
+            if f.at_us - self.start_us >= window {
+                break;
+            }
+            let Far { at_us, seq, event } = self.overflow.pop().expect("peeked");
+            let idx = ((at_us - self.start_us) >> self.tick_shift) as usize;
+            self.wheel[idx].push((at_us, seq, event));
+        }
+    }
+
+    /// Position of the `(at, seq)` minimum within bucket `idx`.
+    fn bucket_min(&self, idx: usize) -> usize {
+        let bucket = &self.wheel[idx];
+        let mut best = 0;
+        for i in 1..bucket.len() {
+            let (a, s, _) = bucket[i];
+            let (ba, bs, _) = bucket[best];
+            if (a, s) < (ba, bs) {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The instant of the next event, if any.
+    pub fn next_time(&self) -> Option<SimTime> {
+        if let Some(&(a, _, _)) = self.past.last() {
+            return Some(SimTime::from_micros(a));
+        }
+        let mut cur = self.cur;
+        while cur < WHEEL_BUCKETS {
+            if !self.wheel[cur].is_empty() {
+                let bucket = &self.wheel[cur];
+                let mut best = bucket[0].0;
+                for &(a, _, _) in &bucket[1..] {
+                    if a < best {
+                        best = a;
+                    }
+                }
+                return Some(SimTime::from_micros(best));
+            }
+            cur += 1;
+        }
+        self.overflow.peek().map(|f| SimTime::from_micros(f.at_us))
+    }
+
+    /// Remove and return the next `(time, event)` pair.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some((a, _, event)) = self.past.pop() {
+            self.len -= 1;
+            return Some((SimTime::from_micros(a), event));
+        }
+        loop {
+            if let Some(idx) = self.advance_to_nonempty() {
+                let min = self.bucket_min(idx);
+                let (a, _, event) = self.wheel[idx].swap_remove(min);
+                self.len -= 1;
+                return Some((SimTime::from_micros(a), event));
+            }
+            // Wheel drained: pull the next window out of the overflow level.
+            debug_assert!(!self.overflow.is_empty());
+            self.rotate();
+        }
+    }
+
+    /// Remove and return the next event only if it fires at or before `t`.
+    ///
+    /// Single-pass: the wheel walk that finds the minimum also pops it,
+    /// instead of scanning once for `next_time` and again for `pop`.
+    pub fn pop_until(&mut self, t: SimTime) -> Option<(SimTime, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        let t_us = t.as_micros();
+        if let Some(&(a, _, _)) = self.past.last() {
+            if a > t_us {
+                return None;
+            }
+            let (a, _, event) = self.past.pop().expect("checked non-empty");
+            self.len -= 1;
+            return Some((SimTime::from_micros(a), event));
+        }
+        loop {
+            if let Some(idx) = self.advance_to_nonempty() {
+                let min = self.bucket_min(idx);
+                if self.wheel[idx][min].0 > t_us {
+                    return None;
+                }
+                let (a, _, event) = self.wheel[idx].swap_remove(min);
+                self.len -= 1;
+                return Some((SimTime::from_micros(a), event));
+            }
+            debug_assert!(!self.overflow.is_empty());
+            if self.overflow.peek().map(|f| f.at_us > t_us).unwrap_or(true) {
+                return None;
+            }
+            self.rotate();
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drop all pending events.
+    pub fn clear(&mut self) {
+        for bucket in &mut self.wheel {
+            bucket.clear();
+        }
+        self.overflow.clear();
+        self.past.clear();
+        self.len = 0;
+        self.cur = 0;
+        self.start_us = 0;
     }
 }
 
@@ -159,5 +435,24 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.next_time(), None);
+    }
+
+    #[test]
+    fn far_future_events_cross_the_overflow_level() {
+        let mut q = EventQueue::with_tick_shift(4);
+        // Window is 256 * 16 µs = 4096 µs; spread events far beyond it.
+        q.schedule(SimTime::from_secs_f64(100.0), "late");
+        q.schedule(SimTime::from_micros(50), "early");
+        q.schedule(SimTime::from_secs_f64(10.0), "mid");
+        q.schedule(SimTime::from_secs_f64(10.0), "mid2");
+        assert_eq!(q.next_time(), Some(SimTime::from_micros(50)));
+        assert_eq!(q.pop().unwrap().1, "early");
+        assert_eq!(q.pop().unwrap().1, "mid");
+        assert_eq!(q.pop().unwrap().1, "mid2");
+        // Scheduling in the past after the wheel rotated still pops first.
+        q.schedule(SimTime::from_micros(60), "past");
+        assert_eq!(q.pop().unwrap().1, "past");
+        assert_eq!(q.pop().unwrap().1, "late");
+        assert!(q.is_empty());
     }
 }

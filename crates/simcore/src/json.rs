@@ -266,6 +266,13 @@ pub fn f64_array(xs: &[f64]) -> Json {
     Json::Arr(xs.iter().map(|&x| num(x)).collect())
 }
 
+/// Append a number in the exact form [`Json::to_string`] uses — for
+/// hand-rolled writers that must stay byte-identical to tree
+/// serialization without building a tree.
+pub fn write_number(out: &mut String, x: f64) {
+    write_num(out, x);
+}
+
 fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
     if let Some(width) = indent {
         out.push('\n');

