@@ -25,15 +25,17 @@
 //! estimate of what the code costs.
 //!
 //! `perf_report --smoke [path]` is the CI guard: it re-times the engine
-//! matrix and exits non-zero if any cell panics or lands more than 25%
-//! below the throughput committed in `BENCH_perf.json` (or `path`).
-//! Nothing is written in smoke mode.
+//! matrix and exits non-zero if any cell panics, lands more than 25%
+//! below the throughput committed in `BENCH_perf.json` (or `path`), or
+//! has no usable committed baseline at all (a stale report is a distinct
+//! hard failure, never a silent pass). Nothing is written in smoke mode.
 
 use nostop_baselines::BayesOpt;
 use nostop_bench::driver::{
     make_system, measure_config, nostop_config, paper_rate, run_nostop, run_tuner,
 };
 use nostop_bench::parallel::{grid, jobs, map_cells_weighted};
+use nostop_bench::smoke::engine_baseline;
 use nostop_core::system::StreamingSystem;
 use nostop_datagen::rate::ConstantRate;
 use nostop_simcore::json::{self, Json};
@@ -179,21 +181,24 @@ fn smoke(path: &str) -> i32 {
         .field_array("engine_matrix")
         .expect("engine_matrix array");
     let repeats = engine_repeats();
-    let mut failures = 0;
+    let mut regressed = 0;
+    let mut unusable = 0;
     for &(kind, interval, executors) in &MATRIX {
-        let baseline = rows.iter().find(|r| {
-            r.field_str("workload") == Ok(kind.name())
-                && r.field_f64("interval_s") == Ok(interval)
-                && r.field_u64("executors") == Ok(executors as u64)
-        });
-        let Some(base_bps) = baseline.and_then(|r| r.field_f64("sim_batches_per_s").ok()) else {
-            eprintln!(
-                "smoke: {path} has no row for {} @ {interval}s × {executors} — \
-                 regenerate the committed report",
-                kind.name()
-            );
-            failures += 1;
-            continue;
+        let base_bps = match engine_baseline(rows, kind.name(), interval, executors) {
+            Ok(bps) => bps,
+            Err(e) => {
+                // A cell the committed report cannot price is a hard
+                // failure in its own right — NOT a pass, and NOT counted
+                // as a regression (nothing got slower; the baseline is
+                // stale or corrupt and must be regenerated).
+                eprintln!(
+                    "smoke: {} @ {interval}s × {executors}: {e} — \
+                     regenerate {path} with `perf_report`",
+                    kind.name()
+                );
+                unusable += 1;
+                continue;
+            }
         };
         let (_, wall) = best_engine_cell(kind, interval, executors, repeats);
         let bps = ENGINE_BATCHES as f64 / (wall / 1e3);
@@ -204,11 +209,19 @@ fn smoke(path: &str) -> i32 {
             kind.name()
         );
         if ratio < SMOKE_FLOOR {
-            failures += 1;
+            regressed += 1;
         }
     }
-    if failures > 0 {
-        eprintln!("smoke: {failures} engine cell(s) regressed >25% vs {path}");
+    if regressed > 0 {
+        eprintln!("smoke: {regressed} engine cell(s) regressed >25% vs {path}");
+    }
+    if unusable > 0 {
+        eprintln!(
+            "smoke: {unusable} matrix cell(s) missing from or unusable in {path} — \
+             the committed report is stale, not the code slow"
+        );
+    }
+    if regressed + unusable > 0 {
         1
     } else {
         println!("smoke: engine matrix within 25% of committed throughput");

@@ -26,3 +26,4 @@ pub mod driver;
 pub mod parallel;
 pub mod replay;
 pub mod report;
+pub mod smoke;

@@ -1,0 +1,123 @@
+//! Baseline lookup for `perf_report --smoke`.
+//!
+//! The smoke guard compares a re-timed engine matrix against the numbers
+//! committed in `BENCH_perf.json`. Two very different failures used to be
+//! folded into one counter: "this cell got slower" and "the committed
+//! report has no such cell" (stale after a matrix change, or a field
+//! typo). The second is not a performance regression — it means the
+//! committed report must be regenerated — and deserves its own verdict so
+//! CI output says which action to take.
+
+use nostop_simcore::json::Json;
+
+/// Why a committed baseline could not be used for a matrix cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// No row matches `(workload, interval_s, executors)` — the committed
+    /// report predates the current matrix and must be regenerated.
+    MissingRow,
+    /// A row matches but its throughput field is absent or unusable.
+    BadField(String),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::MissingRow => write!(f, "no committed row for this cell"),
+            BaselineError::BadField(msg) => write!(f, "committed row unusable: {msg}"),
+        }
+    }
+}
+
+/// Find the committed `sim_batches_per_s` for one engine-matrix cell.
+pub fn engine_baseline(
+    rows: &[Json],
+    workload: &str,
+    interval_s: f64,
+    executors: u32,
+) -> Result<f64, BaselineError> {
+    let row = rows
+        .iter()
+        .find(|r| {
+            r.field_str("workload") == Ok(workload)
+                && r.field_f64("interval_s") == Ok(interval_s)
+                && r.field_u64("executors") == Ok(executors as u64)
+        })
+        .ok_or(BaselineError::MissingRow)?;
+    match row.field_f64("sim_batches_per_s") {
+        Ok(bps) if bps > 0.0 && bps.is_finite() => Ok(bps),
+        Ok(bps) => Err(BaselineError::BadField(format!(
+            "sim_batches_per_s = {bps} (must be a positive finite number)"
+        ))),
+        Err(e) => Err(BaselineError::BadField(e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nostop_simcore::json;
+
+    fn row(workload: &str, interval_s: f64, executors: u64, bps: f64) -> Json {
+        json::obj(vec![
+            ("workload", json::str(workload)),
+            ("interval_s", json::num(interval_s)),
+            ("executors", json::uint(executors)),
+            ("sim_batches_per_s", json::num(bps)),
+        ])
+    }
+
+    #[test]
+    fn finds_the_matching_row() {
+        let rows = vec![
+            row("WordCount", 2.0, 8, 100.0),
+            row("WordCount", 15.0, 8, 250.0),
+        ];
+        assert_eq!(engine_baseline(&rows, "WordCount", 15.0, 8), Ok(250.0));
+        assert_eq!(engine_baseline(&rows, "WordCount", 2.0, 8), Ok(100.0));
+    }
+
+    #[test]
+    fn missing_row_is_not_a_regression() {
+        let rows = vec![row("WordCount", 15.0, 8, 250.0)];
+        assert_eq!(
+            engine_baseline(&rows, "PageAnalyze", 15.0, 8),
+            Err(BaselineError::MissingRow)
+        );
+        // Same workload, different shape: still missing, not matched loosely.
+        assert_eq!(
+            engine_baseline(&rows, "WordCount", 40.0, 8),
+            Err(BaselineError::MissingRow)
+        );
+        assert_eq!(
+            engine_baseline(&rows, "WordCount", 15.0, 14),
+            Err(BaselineError::MissingRow)
+        );
+    }
+
+    #[test]
+    fn unusable_throughput_field_is_its_own_error() {
+        let no_field = json::obj(vec![
+            ("workload", json::str("WordCount")),
+            ("interval_s", json::num(15.0)),
+            ("executors", json::uint(8)),
+        ]);
+        match engine_baseline(&[no_field], "WordCount", 15.0, 8) {
+            Err(BaselineError::BadField(_)) => {}
+            other => panic!("expected BadField, got {other:?}"),
+        }
+        let zero = vec![row("WordCount", 15.0, 8, 0.0)];
+        match engine_baseline(&zero, "WordCount", 15.0, 8) {
+            Err(BaselineError::BadField(msg)) => assert!(msg.contains("positive")),
+            other => panic!("expected BadField, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_report_reports_every_cell_missing() {
+        assert_eq!(
+            engine_baseline(&[], "WordCount", 15.0, 8),
+            Err(BaselineError::MissingRow)
+        );
+    }
+}

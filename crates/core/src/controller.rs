@@ -25,8 +25,9 @@ use crate::space::{ConfigSpace, ParamSpec};
 use crate::system::{BatchObservation, Measurement, StreamingSystem};
 use crate::trace::{RoundKind, RoundRecord, Trace};
 use crate::GainSchedule;
+use nostop_obs::Recorder;
 use nostop_simcore::json::{self, Json};
-use nostop_simcore::SimRng;
+use nostop_simcore::{SimRng, SimTime};
 
 /// Everything configurable about the controller, with paper defaults.
 #[derive(Debug, Clone)]
@@ -390,6 +391,9 @@ pub struct NoStop {
     best: Option<(f64, Vec<f64>, f64)>,
     /// Total configuration changes applied to the system.
     config_changes: u64,
+    /// Trace recorder ("controller" track); disabled by default, so the
+    /// uninstrumented controller pays one cold branch per event site.
+    obs: Recorder,
 }
 
 impl NoStop {
@@ -450,7 +454,15 @@ impl NoStop {
             round: 0,
             best: None,
             config_changes: 0,
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Attach a trace recorder. Controller events land on the
+    /// `"controller"` track of `recorder`'s sink, so a single ring can
+    /// interleave engine and controller history in causal order.
+    pub fn set_recorder(&mut self, recorder: &Recorder) {
+        self.obs = recorder.with_track("controller");
     }
 
     /// Execute one controller round against `sys`.
@@ -489,18 +501,40 @@ impl NoStop {
             Pending::First(p) => (p.theta_plus.clone(), p.theta_minus.clone(), p.a_k, p.c_k),
             Pending::Second(p) => (p.plus.clone(), p.minus.clone(), p.a_k, p.c_k),
         };
+        if self.obs.is_enabled() {
+            // One span per SPSA iteration, carrying the gain schedule and
+            // the current iterate (scaled; first two components cover the
+            // paper's 2-parameter space).
+            let theta = self.spsa.theta();
+            let mut fields = vec![
+                ("k", k as f64),
+                ("rho", self.penalty.rho()),
+                ("a_k", a_k),
+                ("c_k", c_k),
+            ];
+            if let Some(t0) = theta.first() {
+                fields.push(("theta0", *t0));
+            }
+            if let Some(t1) = theta.get(1) {
+                fields.push(("theta1", *t1));
+            }
+            self.obs
+                .enter(SimTime::from_secs_f64(sys.now_s()), "spsa_iter", &fields);
+        }
 
         // Algorithm 2 (Adjust) at θ⁺ and θ⁻ — two reconfigurations for
         // 1SPSA; 2SPSA adds two Hessian probes below.
         let phys_plus = self.cfg.space.to_physical(&theta_plus);
         let m_plus = self.measure(sys, &phys_plus);
+        self.probe_instant(sys, 1.0, &m_plus);
         if self.reset.needs_reset() {
-            return self.do_reset(sys);
+            return self.abort_iteration(sys);
         }
         let phys_minus = self.cfg.space.to_physical(&theta_minus);
         let m_minus = self.measure(sys, &phys_minus);
+        self.probe_instant(sys, -1.0, &m_minus);
         if self.reset.needs_reset() {
-            return self.do_reset(sys);
+            return self.abort_iteration(sys);
         }
 
         let y_plus = self
@@ -520,13 +554,15 @@ impl NoStop {
                 // Two extra measurements for the Hessian estimate.
                 let phys_pt = self.cfg.space.to_physical(&proposal.plus_t);
                 let m_pt = self.measure(sys, &phys_pt);
+                self.probe_instant(sys, 2.0, &m_pt);
                 if self.reset.needs_reset() {
-                    return self.do_reset(sys);
+                    return self.abort_iteration(sys);
                 }
                 let phys_mt = self.cfg.space.to_physical(&proposal.minus_t);
                 let m_mt = self.measure(sys, &phys_mt);
+                self.probe_instant(sys, -2.0, &m_mt);
                 if self.reset.needs_reset() {
-                    return self.do_reset(sys);
+                    return self.abort_iteration(sys);
                 }
                 let y_pt = self.penalty.objective(m_pt.interval_s, m_pt.processing_s);
                 let y_mt = self.penalty.objective(m_mt.interval_s, m_mt.processing_s);
@@ -572,11 +608,29 @@ impl NoStop {
                 .unwrap_or_else(|| self.cfg.space.to_physical(self.spsa.theta()));
             sys.apply_config(&parked);
             self.config_changes += 1;
+            if self.obs.is_enabled() {
+                let now = SimTime::from_secs_f64(sys.now_s());
+                self.obs.add(now, "config_changes", 1);
+                self.obs
+                    .instant(now, "paused", &[("parked_interval_s", parked[0])]);
+            }
         }
 
         let grad_norm = gradient.iter().map(|g| g * g).sum::<f64>().sqrt();
         let mean_delay = (m_plus.end_to_end_s + m_minus.end_to_end_s) / 2.0;
         let physical = self.cfg.space.to_physical(self.spsa.theta());
+        if self.obs.is_enabled() {
+            self.obs.exit(
+                SimTime::from_secs_f64(sys.now_s()),
+                "spsa_iter",
+                &[
+                    ("y_plus", y_plus),
+                    ("y_minus", y_minus),
+                    ("grad_norm", grad_norm),
+                    ("paused", if self.paused { 1.0 } else { 0.0 }),
+                ],
+            );
+        }
         self.push_trace(
             sys.now_s(),
             k,
@@ -649,6 +703,16 @@ impl NoStop {
             return self.wake(sys);
         }
 
+        if self.obs.is_enabled() {
+            self.obs.instant(
+                SimTime::from_secs_f64(sys.now_s()),
+                "paused_observe",
+                &[
+                    ("delay_s", m.end_to_end_s),
+                    ("window", batches.len() as f64),
+                ],
+            );
+        }
         self.push_trace(
             sys.now_s(),
             self.spsa.k(),
@@ -659,6 +723,39 @@ impl NoStop {
         RoundOutcome::Paused {
             delay_s: m.end_to_end_s,
         }
+    }
+
+    /// Record one SPSA probe measurement: `sign` is ±1 for the gradient
+    /// pair, ±2 for 2SPSA's Hessian pair. The objective is evaluated with
+    /// the round's ρ (`advance` has not run yet), so the instant carries
+    /// exactly the value the update below will see.
+    fn probe_instant<S: StreamingSystem>(&self, sys: &S, sign: f64, m: &Measurement) {
+        if self.obs.is_enabled() {
+            self.obs.instant(
+                SimTime::from_secs_f64(sys.now_s()),
+                "probe",
+                &[
+                    ("sign", sign),
+                    ("y", self.penalty.objective(m.interval_s, m.processing_s)),
+                    ("interval_s", m.interval_s),
+                    ("processing_s", m.processing_s),
+                ],
+            );
+        }
+    }
+
+    /// A mid-iteration reset abandons the open `spsa_iter` span: close it
+    /// (marked aborted, so trace consumers do not mistake it for a full
+    /// gradient step) before handing the round to `do_reset`.
+    fn abort_iteration<S: StreamingSystem>(&mut self, sys: &mut S) -> RoundOutcome {
+        if self.obs.is_enabled() {
+            self.obs.exit(
+                SimTime::from_secs_f64(sys.now_s()),
+                "spsa_iter",
+                &[("aborted", 1.0)],
+            );
+        }
+        self.do_reset(sys)
     }
 
     /// Resume optimization after a pause without resetting coefficients:
@@ -673,6 +770,10 @@ impl NoStop {
             *key = f64::INFINITY;
         }
         self.window.shrink_to_min();
+        if self.obs.is_enabled() {
+            self.obs
+                .instant(SimTime::from_secs_f64(sys.now_s()), "woke", &[]);
+        }
         self.push_trace(sys.now_s(), self.spsa.k(), 0.0, 0.0, RoundKind::Woke);
         RoundOutcome::Woke
     }
@@ -689,6 +790,11 @@ impl NoStop {
         self.window.shrink_to_min();
         self.paused = false;
         self.best = None;
+        if self.obs.is_enabled() {
+            let now = SimTime::from_secs_f64(sys.now_s());
+            self.obs.instant(now, "reset", &[]);
+            self.obs.add(now, "resets", 1);
+        }
         self.push_trace(sys.now_s(), 0, 0.0, 0.0, RoundKind::Reset);
         RoundOutcome::Reset
     }
@@ -705,8 +811,20 @@ impl NoStop {
     /// settling, the first batch is still discarded (§5.4: executor/jar
     /// initialization) and `measure_min_batches` are averaged.
     fn measure<S: StreamingSystem>(&mut self, sys: &mut S, physical: &[f64]) -> Measurement {
+        if self.obs.is_enabled() {
+            let mut fields = vec![("interval_s", physical[0])];
+            if let Some(e) = physical.get(1) {
+                fields.push(("executors", *e));
+            }
+            self.obs
+                .enter(SimTime::from_secs_f64(sys.now_s()), "measure", &fields);
+        }
         sys.apply_config(physical);
         self.config_changes += 1;
+        if self.obs.is_enabled() {
+            self.obs
+                .add(SimTime::from_secs_f64(sys.now_s()), "config_changes", 1);
+        }
         let target_interval = physical[0];
 
         // Settling barrier (Algorithm 2's sleep loop), bounded both in
@@ -760,6 +878,17 @@ impl NoStop {
         // The objective evaluates the *applied* interval (Algorithm 2 sets
         // `batchInterval = θ_BatchInterval` before reading the status).
         m.interval_s = target_interval;
+        if self.obs.is_enabled() {
+            self.obs.exit(
+                SimTime::from_secs_f64(sys.now_s()),
+                "measure",
+                &[
+                    ("processing_s", m.processing_s),
+                    ("end_to_end_s", m.end_to_end_s),
+                    ("batches", window.len() as f64),
+                ],
+            );
+        }
         m
     }
 
@@ -1223,6 +1352,36 @@ mod tests {
             best_delay < 20.5,
             "2SPSA-driven controller improves on the default: {best_delay} at {best:?}"
         );
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn trace_spans_stay_well_formed_across_resets_and_pauses() {
+        let recorder = Recorder::ring(1 << 16);
+        let mut sys = MockSystem::new(10_000.0, 0.02, 4);
+        let mut ns = controller(11);
+        ns.set_recorder(&recorder);
+        ns.run(&mut sys, 10);
+        // A surge fires the reset rule mid-iteration, exercising the
+        // abort path that must still close the open `spsa_iter` span.
+        sys.rate = 30_000.0;
+        ns.run(&mut sys, 5);
+        sys.rate = 10_000.0;
+        ns.run(&mut sys, 200);
+        assert!(ns.is_paused(), "long quiet run should pause");
+        let snap = recorder.snapshot();
+        nostop_obs::check_events(&snap.events).expect("well-formed controller trace");
+        nostop_obs::check_jsonl(&snap.to_jsonl()).expect("well-formed JSONL");
+        let changes = snap
+            .counters
+            .iter()
+            .find(|(name, _)| *name == "config_changes")
+            .map(|(_, total)| *total)
+            .expect("config_changes counted");
+        assert_eq!(changes, ns.config_changes(), "counter mirrors the API");
+        let stats = nostop_obs::span_stats(&snap.events);
+        assert!(stats.iter().any(|s| s.name == "spsa_iter" && s.count > 1));
+        assert!(stats.iter().any(|s| s.name == "measure"));
     }
 
     #[test]

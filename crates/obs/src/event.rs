@@ -1,0 +1,321 @@
+//! The trace event model and its well-formedness rules.
+//!
+//! A trace is a sequence of events in *causal append order*: the order the
+//! instrumented code emitted them, which is deterministic for a given seed.
+//! Each event carries a DES timestamp (`at_us`, virtual microseconds —
+//! never wall-clock) and a *track* naming the subsystem that emitted it.
+//! Timestamps are monotone within a span pair but not globally: the
+//! scheduler computes a whole job synchronously at submission, so stage
+//! spans append before the job's own exit even though their timestamps lie
+//! inside the job window.
+//!
+//! Well-formedness is therefore defined **per track**: on each track,
+//! every `Exit` must name the innermost open `Enter`, all spans must be
+//! closed at end of trace, a span's exit must not precede its entry, and
+//! every counter's cumulative total must be monotone (`total == previous +
+//! delta`). [`check_events`] validates an in-memory trace and
+//! [`check_jsonl`] the exported form.
+
+use nostop_simcore::Json;
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// DES timestamp, virtual microseconds.
+    pub at_us: u64,
+    /// Subsystem that emitted the event (`"engine"`, `"controller"`, ...).
+    pub track: &'static str,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A span opened.
+    Enter {
+        /// Span name.
+        span: &'static str,
+        /// Numeric attributes captured at entry.
+        fields: Vec<(&'static str, f64)>,
+    },
+    /// The innermost open span on this track closed.
+    Exit {
+        /// Span name (must match the innermost open entry).
+        span: &'static str,
+        /// Numeric attributes captured at exit.
+        fields: Vec<(&'static str, f64)>,
+    },
+    /// A point event.
+    Instant {
+        /// Event name.
+        name: &'static str,
+        /// Numeric attributes.
+        fields: Vec<(&'static str, f64)>,
+    },
+    /// A monotonic counter increment.
+    Count {
+        /// Counter name (global across tracks).
+        name: &'static str,
+        /// This increment.
+        delta: u64,
+        /// Cumulative total after the increment.
+        total: u64,
+    },
+}
+
+/// Aggregate statistics for one span name on one track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    /// Track the span ran on.
+    pub track: String,
+    /// Span name.
+    pub name: String,
+    /// Completed (entered and exited) instances.
+    pub count: u64,
+    /// Sum of exit − entry times, virtual microseconds.
+    pub total_us: u64,
+}
+
+/// Validate an in-memory trace against the per-track nesting and
+/// counter-monotonicity rules. Returns the first violation.
+pub fn check_events(events: &[Event]) -> Result<(), String> {
+    let mut checker = Checker::default();
+    for (i, ev) in events.iter().enumerate() {
+        let kind = match &ev.kind {
+            EventKind::Enter { span, .. } => CheckedKind::Enter(span),
+            EventKind::Exit { span, .. } => CheckedKind::Exit(span),
+            EventKind::Instant { .. } => CheckedKind::Instant,
+            EventKind::Count { name, delta, total } => CheckedKind::Count(name, *delta, *total),
+        };
+        checker.step(i, ev.at_us, ev.track, kind)?;
+    }
+    checker.finish()
+}
+
+/// Validate an exported JSONL trace. Every line must parse as JSON; the
+/// event lines must satisfy the same rules as [`check_events`], and the
+/// `counter_total` trailer lines must match the final cumulative totals.
+pub fn check_jsonl(text: &str) -> Result<(), String> {
+    let mut checker = Checker::default();
+    let mut trailer_totals: Vec<(String, u64)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let v = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let ev = v
+            .field_str("ev")
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?
+            .to_string();
+        let bad = |e: nostop_simcore::json::Error| format!("line {}: {e}", lineno + 1);
+        match ev.as_str() {
+            "meta" => {
+                if v.field_u64_or_zero("dropped").unwrap_or(0) > 0 {
+                    checker.truncated = true;
+                }
+            }
+            "cell" => {}
+            "counter_total" => {
+                trailer_totals.push((v.field_str("name").map_err(bad)?.to_string(), {
+                    v.field_u64("total").map_err(bad)?
+                }));
+            }
+            "enter" | "exit" | "point" | "count" => {
+                let at_us = v.field_u64("t_us").map_err(bad)?;
+                let track = v.field_str("track").map_err(bad)?.to_string();
+                let kind = match ev.as_str() {
+                    "enter" => OwnedKind::Enter(v.field_str("span").map_err(bad)?.to_string()),
+                    "exit" => OwnedKind::Exit(v.field_str("span").map_err(bad)?.to_string()),
+                    "point" => OwnedKind::Instant,
+                    _ => OwnedKind::Count(
+                        v.field_str("name").map_err(bad)?.to_string(),
+                        v.field_u64("delta").map_err(bad)?,
+                        v.field_u64("total").map_err(bad)?,
+                    ),
+                };
+                let kind = match &kind {
+                    OwnedKind::Enter(s) => CheckedKind::Enter(s),
+                    OwnedKind::Exit(s) => CheckedKind::Exit(s),
+                    OwnedKind::Instant => CheckedKind::Instant,
+                    OwnedKind::Count(n, d, t) => CheckedKind::Count(n, *d, *t),
+                };
+                checker.step(lineno, at_us, &track, kind)?;
+            }
+            other => return Err(format!("line {}: unknown ev `{other}`", lineno + 1)),
+        }
+    }
+    checker.finish()?;
+    for (name, total) in trailer_totals {
+        let seen = checker
+            .counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, t)| *t)
+            .unwrap_or(0);
+        if seen != total {
+            return Err(format!(
+                "counter_total for `{name}` says {total} but events sum to {seen}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Per-span aggregates over completed (entered-and-exited) spans, in
+/// first-seen order — the data behind `trace_report`'s summary table.
+pub fn span_stats(events: &[Event]) -> Vec<SpanStat> {
+    let mut stacks: Vec<(String, Vec<(String, u64)>)> = Vec::new();
+    let mut stats: Vec<SpanStat> = Vec::new();
+    for ev in events {
+        match &ev.kind {
+            EventKind::Enter { span, .. } => {
+                let stack = match stacks.iter_mut().find(|(t, _)| t == ev.track) {
+                    Some((_, s)) => s,
+                    None => {
+                        stacks.push((ev.track.to_string(), Vec::new()));
+                        &mut stacks.last_mut().expect("just pushed").1
+                    }
+                };
+                stack.push((span.to_string(), ev.at_us));
+            }
+            EventKind::Exit { .. } => {
+                let Some((_, stack)) = stacks.iter_mut().find(|(t, _)| t == ev.track) else {
+                    continue;
+                };
+                let Some((name, entered)) = stack.pop() else {
+                    continue;
+                };
+                let dur = ev.at_us.saturating_sub(entered);
+                match stats
+                    .iter_mut()
+                    .find(|s| s.track == ev.track && s.name == name)
+                {
+                    Some(s) => {
+                        s.count += 1;
+                        s.total_us += dur;
+                    }
+                    None => stats.push(SpanStat {
+                        track: ev.track.to_string(),
+                        name,
+                        count: 1,
+                        total_us: dur,
+                    }),
+                }
+            }
+            _ => {}
+        }
+    }
+    stats
+}
+
+enum OwnedKind {
+    Enter(String),
+    Exit(String),
+    Instant,
+    Count(String, u64, u64),
+}
+
+enum CheckedKind<'a> {
+    Enter(&'a str),
+    Exit(&'a str),
+    Instant,
+    Count(&'a str, u64, u64),
+}
+
+/// The shared state machine behind [`check_events`] and [`check_jsonl`].
+#[derive(Default)]
+struct Checker {
+    /// Open-span stacks, one per track: `(track, [(span, entered_at_us)])`.
+    stacks: Vec<(String, Vec<(String, u64)>)>,
+    /// Cumulative counter totals by name.
+    counters: Vec<(String, u64)>,
+    /// When the trace declares ring evictions, a counter's first surviving
+    /// event sets its baseline (the evicted prefix carried the rest);
+    /// complete traces must build every total from zero.
+    truncated: bool,
+}
+
+impl Checker {
+    fn step(
+        &mut self,
+        at: usize,
+        at_us: u64,
+        track: &str,
+        kind: CheckedKind,
+    ) -> Result<(), String> {
+        match kind {
+            CheckedKind::Enter(span) => {
+                let stack = match self.stacks.iter_mut().find(|(t, _)| t == track) {
+                    Some((_, s)) => s,
+                    None => {
+                        self.stacks.push((track.to_string(), Vec::new()));
+                        &mut self.stacks.last_mut().expect("just pushed").1
+                    }
+                };
+                stack.push((span.to_string(), at_us));
+            }
+            CheckedKind::Exit(span) => {
+                let stack = self
+                    .stacks
+                    .iter_mut()
+                    .find(|(t, _)| t == track)
+                    .map(|(_, s)| s)
+                    .ok_or_else(|| {
+                        format!("event {at}: exit `{span}` on unopened track `{track}`")
+                    })?;
+                let (open, entered) = stack.pop().ok_or_else(|| {
+                    format!("event {at}: exit `{span}` with no open span on track `{track}`")
+                })?;
+                if open != span {
+                    return Err(format!(
+                        "event {at}: exit `{span}` does not match innermost open `{open}` on track `{track}`"
+                    ));
+                }
+                if at_us < entered {
+                    return Err(format!(
+                        "event {at}: span `{span}` exits at {at_us} µs, before its entry at {entered} µs"
+                    ));
+                }
+            }
+            CheckedKind::Instant => {}
+            CheckedKind::Count(name, delta, total) => {
+                let entry = match self.counters.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, t)) => t,
+                    None => {
+                        let baseline = if self.truncated {
+                            total.checked_sub(delta).ok_or_else(|| {
+                                format!(
+                                    "event {at}: counter `{name}` total {total} below its own delta {delta}"
+                                )
+                            })?
+                        } else {
+                            0
+                        };
+                        self.counters.push((name.to_string(), baseline));
+                        &mut self.counters.last_mut().expect("just pushed").1
+                    }
+                };
+                let expected = entry.checked_add(delta).ok_or_else(|| {
+                    format!("event {at}: counter `{name}` overflows at delta {delta}")
+                })?;
+                if total != expected {
+                    return Err(format!(
+                        "event {at}: counter `{name}` total {total} breaks monotonicity (expected {expected})"
+                    ));
+                }
+                *entry = expected;
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        for (track, stack) in &self.stacks {
+            if let Some((span, _)) = stack.last() {
+                return Err(format!(
+                    "span `{span}` on track `{track}` never exited ({} open at end of trace)",
+                    stack.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}

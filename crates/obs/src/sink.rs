@@ -1,0 +1,85 @@
+//! The bounded ring sink behind an enabled recorder.
+
+use crate::event::{Event, EventKind};
+use std::collections::VecDeque;
+
+/// A ring buffer of trace events with cumulative counter state.
+///
+/// Memory is bounded by `capacity`: when full, the oldest event is evicted
+/// and counted in `dropped`. Counter *totals* survive eviction — they live
+/// in a separate cumulative table, so a long run whose early increments
+/// scrolled out of the ring still reports exact end-of-run totals.
+#[derive(Debug)]
+pub struct RingSink {
+    events: VecDeque<Event>,
+    capacity: usize,
+    /// Cumulative counter totals in first-increment order.
+    counters: Vec<(&'static str, u64)>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// An empty sink holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingSink {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            counters: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest when full.
+    pub fn push(&mut self, event: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Bump counter `name` by `delta` and append the increment event.
+    pub fn add(&mut self, at_us: u64, track: &'static str, name: &'static str, delta: u64) {
+        let total = match self.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, t)) => {
+                *t += delta;
+                *t
+            }
+            None => {
+                self.counters.push((name, delta));
+                delta
+            }
+        };
+        self.push(Event {
+            at_us,
+            track,
+            kind: EventKind::Count { name, delta, total },
+        });
+    }
+
+    /// Buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Cumulative counter totals in first-increment order.
+    pub fn counters(&self) -> &[(&'static str, u64)] {
+        &self.counters
+    }
+
+    /// Events evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Buffered event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}

@@ -1,0 +1,176 @@
+//! Recorder behavior: ring bounds, track sharing, JSONL export, and the
+//! well-formedness checker itself.
+#![cfg(not(feature = "obs-off"))]
+
+use nostop_obs::{check_events, check_jsonl, span_stats, Event, EventKind, Recorder};
+use nostop_simcore::SimTime;
+
+fn t(us: u64) -> SimTime {
+    SimTime::from_micros(us)
+}
+
+#[test]
+fn disabled_recorder_records_nothing() {
+    let rec = Recorder::disabled();
+    assert!(!rec.is_enabled());
+    rec.enter(t(1), "job", &[("x", 1.0)]);
+    rec.add(t(2), "batches", 1);
+    let snap = rec.snapshot();
+    assert!(snap.events.is_empty());
+    assert!(snap.counters.is_empty());
+    assert_eq!(snap.dropped, 0);
+}
+
+#[test]
+fn spans_and_counters_round_trip_through_jsonl() {
+    let rec = Recorder::ring(64);
+    assert!(rec.is_enabled());
+    rec.enter(t(100), "job", &[("batch_id", 0.0), ("records", 1e4)]);
+    rec.enter(t(120), "stage", &[("idx", 0.0)]);
+    rec.add(t(130), "tasks", 50);
+    rec.exit(t(900), "stage", &[("busy_us", 780.0)]);
+    rec.instant(t(950), "cut", &[]);
+    rec.exit(t(1000), "job", &[("stages", 1.0)]);
+    rec.add(t(1000), "batches_completed", 1);
+
+    let snap = rec.snapshot();
+    assert_eq!(snap.events.len(), 7);
+    assert_eq!(snap.dropped, 0);
+    assert_eq!(snap.counters, vec![("tasks", 50), ("batches_completed", 1)]);
+    check_events(&snap.events).expect("trace is well-formed");
+
+    let jsonl = rec.to_jsonl();
+    check_jsonl(&jsonl).expect("export is well-formed");
+    // Header + 7 events + 2 counter trailers.
+    assert_eq!(jsonl.lines().count(), 10);
+    let first = jsonl.lines().next().unwrap();
+    assert!(first.contains("\"schema\":\"nostop-trace/1\""), "{first}");
+}
+
+#[test]
+fn ring_bounds_memory_and_counts_evictions() {
+    let rec = Recorder::ring(8);
+    for i in 0..20u64 {
+        rec.add(t(i), "ticks", 1);
+    }
+    let snap = rec.snapshot();
+    assert_eq!(snap.events.len(), 8);
+    assert_eq!(snap.dropped, 12);
+    // Counter totals are exact even though early increments were evicted.
+    assert_eq!(snap.counters, vec![("ticks", 20)]);
+    // The export declares the evictions, so the checker baselines the
+    // surviving counter suffix instead of demanding totals from zero.
+    check_jsonl(&rec.to_jsonl()).expect("truncated trace still checks");
+}
+
+#[test]
+fn tracks_share_a_sink_but_nest_independently() {
+    let rec = Recorder::ring(64);
+    let engine = rec.with_track("engine");
+    let controller = rec.with_track("controller");
+    // Interleaved non-hierarchically: fine, nesting is per track.
+    controller.enter(t(0), "spsa_iter", &[]);
+    engine.enter(t(10), "job", &[]);
+    controller.instant(t(20), "probe", &[("sign", 1.0)]);
+    engine.exit(t(30), "job", &[]);
+    controller.exit(t(40), "spsa_iter", &[]);
+    let snap = rec.snapshot();
+    assert_eq!(snap.events.len(), 5);
+    check_events(&snap.events).expect("per-track nesting holds");
+    let stats = span_stats(&snap.events);
+    assert_eq!(stats.len(), 2);
+    let job = stats.iter().find(|s| s.name == "job").unwrap();
+    assert_eq!(
+        (job.track.as_str(), job.count, job.total_us),
+        ("engine", 1, 20)
+    );
+}
+
+#[test]
+fn checker_rejects_mismatched_and_unclosed_spans() {
+    let enter = |at_us, track, span| Event {
+        at_us,
+        track,
+        kind: EventKind::Enter {
+            span,
+            fields: vec![],
+        },
+    };
+    let exit = |at_us, track, span| Event {
+        at_us,
+        track,
+        kind: EventKind::Exit {
+            span,
+            fields: vec![],
+        },
+    };
+    // Exit does not match the innermost open entry.
+    let bad = vec![
+        enter(0, "engine", "job"),
+        enter(1, "engine", "stage"),
+        exit(2, "engine", "job"),
+    ];
+    assert!(check_events(&bad).unwrap_err().contains("innermost"));
+    // Exit with nothing open.
+    assert!(check_events(&[exit(0, "engine", "job")]).is_err());
+    // Unclosed at end of trace.
+    assert!(check_events(&[enter(0, "engine", "job")])
+        .unwrap_err()
+        .contains("never exited"));
+    // Exit before entry in virtual time.
+    let backwards = vec![enter(10, "engine", "job"), exit(5, "engine", "job")];
+    assert!(check_events(&backwards)
+        .unwrap_err()
+        .contains("before its entry"));
+}
+
+#[test]
+fn checker_rejects_non_monotone_counters() {
+    let count = |at_us, delta, total| Event {
+        at_us,
+        track: "engine",
+        kind: EventKind::Count {
+            name: "batches",
+            delta,
+            total,
+        },
+    };
+    assert!(check_events(&[count(0, 1, 1), count(1, 1, 2)]).is_ok());
+    assert!(check_events(&[count(0, 1, 1), count(1, 1, 3)])
+        .unwrap_err()
+        .contains("monotonicity"));
+}
+
+#[test]
+fn check_jsonl_rejects_corrupted_traces() {
+    let rec = Recorder::ring(16);
+    rec.enter(t(0), "job", &[]);
+    rec.exit(t(5), "job", &[]);
+    let good = rec.to_jsonl();
+    check_jsonl(&good).expect("good trace passes");
+    // Drop the exit line: the open span must be flagged.
+    let truncated: String = good
+        .lines()
+        .filter(|l| !l.contains("\"ev\":\"exit\""))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert!(check_jsonl(&truncated).is_err());
+    // Corrupt a counter trailer.
+    let rec = Recorder::ring(16);
+    rec.add(t(0), "ticks", 2);
+    let tampered = rec.to_jsonl().replace("\"total\":2}", "\"total\":3}");
+    assert!(check_jsonl(&tampered).is_err());
+}
+
+#[test]
+fn export_is_deterministic() {
+    let build = || {
+        let rec = Recorder::ring(32);
+        let engine = rec.with_track("engine");
+        engine.enter(t(7), "job", &[("records", 12345.678)]);
+        engine.add(t(8), "records_processed", 12345);
+        engine.exit(t(99), "job", &[]);
+        rec.to_jsonl()
+    };
+    assert_eq!(build(), build());
+}

@@ -27,7 +27,7 @@ pub mod series;
 pub mod stats;
 pub mod time;
 
-pub use events::{BinaryHeapEventQueue, EventQueue};
+pub use events::{BinaryHeapEventQueue, EventQueue, QueueStats};
 pub use json::Json;
 pub use rng::SimRng;
 pub use series::TimeSeries;

@@ -27,6 +27,7 @@ use crate::scheduler::{simulate_job, JobScratch, Speculation};
 use nostop_datagen::broker::{Broker, BrokerConfig};
 use nostop_datagen::rate::RateProcess;
 use nostop_datagen::StreamGenerator;
+use nostop_obs::Recorder;
 use nostop_simcore::{SimDuration, SimRng, SimTime};
 use nostop_workloads::{CostModel, WorkloadKind};
 
@@ -157,6 +158,9 @@ pub struct StreamingEngine {
     dropped_records: u64,
     /// Executor losses not yet attached to a completed batch.
     pending_failures: u32,
+    /// Trace recorder (disabled by default: one cold branch per event
+    /// site, no RNG draws, identical simulation either way).
+    obs: Recorder,
 }
 
 impl StreamingEngine {
@@ -207,7 +211,15 @@ impl StreamingEngine {
             void_broker,
             dropped_records: 0,
             pending_failures: 0,
+            obs: Recorder::disabled(),
         }
+    }
+
+    /// Attach a trace recorder; the engine's events land on its `"engine"`
+    /// track. Recording changes no simulation outcome — the recorder draws
+    /// no RNG and every timestamp is the DES clock.
+    pub fn set_recorder(&mut self, recorder: &Recorder) {
+        self.obs = recorder.with_track("engine");
     }
 
     /// Current virtual time.
@@ -224,6 +236,36 @@ impl StreamingEngine {
     /// Apply a configuration at runtime. The interval re-arms the divider
     /// from the next cut; executor changes start launching/retiring now.
     pub fn apply_config(&mut self, cfg: StreamConfig) {
+        if self.obs.is_enabled() {
+            let prev = self.executors.count();
+            let launching = cfg.num_executors.saturating_sub(prev);
+            // A scale-up pays process launch plus first-job jar shipping;
+            // the span brackets the divider re-arm + target change, which
+            // are instantaneous in virtual time.
+            let overhead_us = if launching > 0 {
+                (self.params.launch_delay + self.params.executor_init).as_micros()
+            } else {
+                0
+            };
+            self.obs.enter(
+                self.clock,
+                "reconfigure",
+                &[
+                    ("interval_s", cfg.batch_interval.as_secs_f64()),
+                    ("executors", cfg.num_executors as f64),
+                    ("prev_executors", prev as f64),
+                ],
+            );
+            self.obs.exit(
+                self.clock,
+                "reconfigure",
+                &[
+                    ("launching", launching as f64),
+                    ("launch_overhead_us", overhead_us as f64),
+                ],
+            );
+            self.obs.add(self.clock, "reconfigurations", 1);
+        }
         self.current_interval = cfg.batch_interval;
         // Re-arm the divider: the pending cut moves to the new cadence,
         // but never earlier than now (and never rewinds).
@@ -362,6 +404,14 @@ impl StreamingEngine {
                 let lost = self.executors.crash(count, &mut self.fault_rng);
                 if lost > 0 {
                     self.pending_failures += lost;
+                    if self.obs.is_enabled() {
+                        self.obs.instant(
+                            self.clock,
+                            "fault.crash",
+                            &[("requested", count as f64), ("lost", lost as f64)],
+                        );
+                        self.obs.add(self.clock, "executor_failures", lost as u64);
+                    }
                     if let Some(delay) = relaunch_after {
                         self.faults.push_timer(at + delay, FaultTimer::Relaunch);
                     }
@@ -371,6 +421,13 @@ impl StreamingEngine {
             FaultTimer::Relaunch => {
                 // The cluster manager restores the applied target;
                 // replacements launch fresh (delay + jar shipping).
+                if self.obs.is_enabled() {
+                    self.obs.instant(
+                        self.clock,
+                        "fault.relaunch",
+                        &[("target", self.target_executors as f64)],
+                    );
+                }
                 self.executors.set_target(self.target_executors, self.clock);
             }
         }
@@ -413,7 +470,19 @@ impl StreamingEngine {
                 state: &self.faults,
                 rng: &mut self.fault_rng,
             }),
+            &self.obs,
         );
+        if self.obs.is_enabled() {
+            self.obs.instant(
+                now,
+                "job.replanned",
+                &[
+                    ("batch_id", job.batch.id as f64),
+                    ("lost", lost as f64),
+                    ("new_finish_s", result.finished_at.as_secs_f64()),
+                ],
+            );
+        }
         let job = self.running.as_mut().expect("job checked above");
         job.finishes_at = result.finished_at;
         // Busy time actually spent: the pre-crash fraction plus the redo.
@@ -447,9 +516,16 @@ impl StreamingEngine {
     fn on_batch_cut(&mut self) {
         let t = self.next_cut;
         self.clock = t;
+        let dropped_before = self.dropped_records;
         // Receivers ingest everything produced up to the cut (minus any
         // declared outage windows, whose production is dropped).
         self.arrived_since_cut += self.ingest_to(t);
+        if self.obs.is_enabled() {
+            let newly_dropped = self.dropped_records - dropped_before;
+            if newly_dropped > 0 {
+                self.obs.add(t, "records_dropped", newly_dropped);
+            }
+        }
         // When the batch queue is saturated the divider blocks: no batch is
         // cut, the data stays in the broker, and the next successful cut
         // absorbs it as a catch-up batch.
@@ -474,6 +550,21 @@ impl StreamingEngine {
             );
             self.arrived_since_cut = 0;
             self.last_cut = t;
+            if self.obs.is_enabled() {
+                self.obs.instant(
+                    t,
+                    "cut",
+                    &[
+                        ("records", records as f64),
+                        ("queue_len", self.queue.len() as f64),
+                    ],
+                );
+                self.obs.add(t, "batches_cut", 1);
+            }
+        } else if self.obs.is_enabled() {
+            self.obs
+                .instant(t, "cut_blocked", &[("queue_len", self.queue.len() as f64)]);
+            self.obs.add(t, "cuts_blocked", 1);
         }
         self.next_cut = t + self.current_interval;
         if self.running.is_none() {
@@ -484,6 +575,15 @@ impl StreamingEngine {
     fn on_job_finish(&mut self) {
         let job = self.running.take().expect("a job was running");
         self.clock = job.finishes_at;
+        if self.obs.is_enabled() {
+            self.obs.add(job.finishes_at, "batches_completed", 1);
+            self.obs
+                .add(job.finishes_at, "records_processed", job.batch.records);
+            if job.task_retries > 0 {
+                self.obs
+                    .add(job.finishes_at, "task_retries", job.task_retries as u64);
+            }
+        }
         self.listener.on_batch_completed(BatchMetrics {
             batch_id: job.batch.id,
             records: job.batch.records,
@@ -510,6 +610,22 @@ impl StreamingEngine {
         };
         let start = self.clock;
         let stages = self.cost.sample_stages(&mut self.job_rng);
+        // The job span opens before the scheduler runs so its stage spans
+        // nest inside; the exit is emitted right after, at the *planned*
+        // finish — the DES computes the whole job synchronously here, and
+        // closing eagerly guarantees a snapshot taken between events never
+        // sees a dangling span. A mid-job crash appends `job.replanned`.
+        if self.obs.is_enabled() {
+            self.obs.enter(
+                start,
+                "job",
+                &[
+                    ("batch_id", batch.id as f64),
+                    ("records", batch.records as f64),
+                    ("executors", self.executors.count() as f64),
+                ],
+            );
+        }
         let executors = self.executors.executors_mut();
         let result = simulate_job(
             &self.cost,
@@ -527,7 +643,23 @@ impl StreamingEngine {
                 state: &self.faults,
                 rng: &mut self.fault_rng,
             }),
+            &self.obs,
         );
+        if self.obs.is_enabled() {
+            self.obs.exit(
+                result.finished_at,
+                "job",
+                &[
+                    (
+                        "processing_s",
+                        result.finished_at.saturating_since(start).as_secs_f64(),
+                    ),
+                    ("stages", result.stages as f64),
+                    ("busy_core_us", result.busy_core_us as f64),
+                    ("task_retries", result.task_retries as f64),
+                ],
+            );
+        }
         self.running = Some(RunningJob {
             batch,
             started_at: start,

@@ -15,6 +15,7 @@
 use crate::executor::Executor;
 use crate::fault::TaskFaultCtx;
 use crate::noise::NoiseModel;
+use nostop_obs::Recorder;
 use nostop_simcore::{SimDuration, SimTime};
 use nostop_workloads::{CostModel, JobCostTable};
 
@@ -155,8 +156,10 @@ fn list_schedule(avail: &mut [u64], durations: &[u64], stage_start: u64) -> u64 
 /// threads the engine's fault windows through task placement: slowdown
 /// windows scale the slot's speed, and failure windows re-run tasks with
 /// a bounded Bernoulli retry loop (`None` is bit-identical to a fault-free
-/// build — no extra RNG draws). Panics if `executors` is empty — the
-/// engine guarantees at least one.
+/// build — no extra RNG draws). `obs` receives one span per stage when
+/// enabled; a disabled recorder costs one branch per stage and draws no
+/// RNG, so the simulated schedule is identical either way. Panics if
+/// `executors` is empty — the engine guarantees at least one.
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_job(
     cost: &CostModel,
@@ -171,6 +174,7 @@ pub fn simulate_job(
     speculation: Option<Speculation>,
     scratch: &mut JobScratch,
     mut faults: Option<TaskFaultCtx>,
+    obs: &Recorder,
 ) -> JobResult {
     assert!(!executors.is_empty(), "job needs at least one executor");
     let JobScratch {
@@ -222,6 +226,13 @@ pub fn simulate_job(
 
     for stage in 0..stages {
         let stage_start = t_us + cost.stage_overhead_us.round() as u64;
+        if obs.is_enabled() {
+            obs.enter(
+                SimTime::from_micros(stage_start),
+                "stage",
+                &[("idx", stage as f64), ("tasks", tasks_per_stage as f64)],
+            );
+        }
         let slot_open =
             |e: &Executor, init: u64| stage_start.max(e.ready_at.as_micros()).saturating_add(init);
         let costs = table.stage(stage);
@@ -352,6 +363,13 @@ pub fn simulate_job(
             stage_busy = durations.iter().sum::<u64>();
         }
         busy_core_us += stage_busy;
+        if obs.is_enabled() {
+            obs.exit(
+                SimTime::from_micros(stage_end),
+                "stage",
+                &[("busy_us", stage_busy as f64)],
+            );
+        }
 
         // Init is paid once, at the first stage the executor joins.
         for x in extra_init.iter_mut() {
@@ -407,6 +425,7 @@ mod tests {
             None,
             &mut JobScratch::new(),
             None,
+            &Recorder::disabled(),
         );
         r.finished_at - start
     }
@@ -437,6 +456,7 @@ mod tests {
             None,
             &mut JobScratch::new(),
             None,
+            &Recorder::disabled(),
         );
         assert_eq!(r.tasks_per_stage, 50);
         assert_eq!(r.stages, 2);
@@ -488,6 +508,7 @@ mod tests {
                 None,
                 &mut JobScratch::new(),
                 None,
+                &Recorder::disabled(),
             )
             .finished_at
                 - start
@@ -528,6 +549,7 @@ mod tests {
                 None,
                 &mut JobScratch::new(),
                 None,
+                &Recorder::disabled(),
             )
             .finished_at
             .as_secs_f64()
@@ -556,6 +578,7 @@ mod tests {
                 None,
                 &mut JobScratch::new(),
                 None,
+                &Recorder::disabled(),
             )
             .finished_at
             .as_secs_f64()
@@ -616,6 +639,7 @@ mod tests {
                 spec,
                 &mut JobScratch::new(),
                 None,
+                &Recorder::disabled(),
             )
             .finished_at
             .as_secs_f64()
@@ -646,6 +670,7 @@ mod tests {
                 spec,
                 &mut JobScratch::new(),
                 None,
+                &Recorder::disabled(),
             )
             .finished_at
         };
@@ -674,6 +699,7 @@ mod tests {
                     spec,
                     &mut JobScratch::new(),
                     None,
+                    &Recorder::disabled(),
                 )
                 .finished_at
             };
