@@ -7,8 +7,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use nostop_core::listener::StatusReport;
-use nostop_simcore::{BinaryHeapEventQueue, EventQueue, SimRng, SimTime};
-use nostop_workloads::{CostModel, JobCostTable, WorkloadKind};
+use nostop_simcore::{BinaryHeapEventQueue, EventQueue, SimDuration, SimRng, SimTime};
+use nostop_workloads::{block_prefix, round_duration_us, CostModel, JobCostTable, WorkloadKind};
+use spark_sim::cluster::Cluster;
+use spark_sim::executor::ExecutorManager;
+use spark_sim::noise::{NoiseModel, NoiseParams};
+use spark_sim::scheduler::simulate_job;
+use spark_sim::{JobScratch, SuperbatchArm, SuperbatchStats};
 use std::hint::black_box;
 
 /// A deterministic schedule shaped like the engine's access pattern:
@@ -162,11 +167,105 @@ fn bench_json_boundary(c: &mut Criterion) {
     group.finish();
 }
 
+/// The superbatch arithmetic alone: one executor block of 75 tasks, closed
+/// form (`block_prefix` over the pre-drawn noise burst) vs the exact
+/// path's per-task arithmetic for the same quiet block (contention and
+/// slowdown multiplies by 1.0, round-half-up quantization, busy
+/// accumulation). The arithmetic is deliberately near-identical — the
+/// closed form's engine-level win comes from skipping the per-task
+/// contention/fault queries and memo machinery, which the job-level rows
+/// below capture.
+fn bench_superbatch_kernel(c: &mut Criterion) {
+    const TASKS: usize = 75;
+    let mut rng = SimRng::seed_from_u64(13);
+    let mut factors = Vec::new();
+    rng.fill_lognormal(-0.02, 0.2, TASKS, &mut factors);
+    let (work0, work1) = (61_000.0f64, 61_800.0f64);
+    let rem = 40u32;
+    let mut group = c.benchmark_group("superbatch_kernel");
+    group.throughput(Throughput::Elements(TASKS as u64));
+    group.bench_function("closed_form_block", |b| {
+        b.iter(|| {
+            black_box(block_prefix(
+                black_box(1_000_000),
+                work0,
+                work1,
+                0,
+                rem,
+                &factors,
+            ))
+        });
+    });
+    group.bench_function("per_task_loop", |b| {
+        b.iter(|| {
+            let mut t = black_box(1_000_000u64);
+            let mut busy = 0u64;
+            for (i, &f) in factors.iter().enumerate() {
+                let w = if (i as u32) < rem { work1 } else { work0 };
+                let d = round_duration_us(w * f * black_box(1.0) * black_box(1.0));
+                t += d;
+                busy += d;
+            }
+            black_box((t, busy))
+        });
+    });
+    group.finish();
+}
+
+/// The whole job: armed (per-block closed form) vs unarmed (exact per-task
+/// loop) `simulate_job` on a quiet heterogeneous cluster — the end-to-end
+/// form of the superbatch fast path, bit-identical by the differential
+/// tests, measured here for speed.
+fn bench_superbatch_job(c: &mut Criterion) {
+    let mut m = ExecutorManager::new(Cluster::paper_heterogeneous(), SimDuration::ZERO);
+    m.bootstrap(14);
+    let cost = CostModel::preset(WorkloadKind::WordCount);
+    let params = NoiseParams {
+        contention_mean_gap_s: 1e9, // quiet by construction
+        ..NoiseParams::default()
+    };
+    let mut group = c.benchmark_group("superbatch_job");
+    group.throughput(Throughput::Elements(1));
+    for (label, armed) in [("exact_per_task", false), ("closed_form_armed", true)] {
+        group.bench_function(label, |b| {
+            let mut noise = NoiseModel::new(params, 5, SimRng::seed_from_u64(11));
+            let mut stats = SuperbatchStats::default();
+            let mut scratch = JobScratch::new();
+            let mut execs = m.executors().to_vec();
+            b.iter(|| {
+                let arm = armed.then_some(SuperbatchArm {
+                    use_fast: true,
+                    stats: &mut stats,
+                });
+                black_box(simulate_job(
+                    &cost,
+                    1_800_000,
+                    SimDuration::from_secs(15),
+                    SimDuration::from_millis(200),
+                    SimTime::from_secs_f64(50.0),
+                    &mut execs,
+                    SimDuration::ZERO,
+                    &mut noise,
+                    2,
+                    None,
+                    &mut scratch,
+                    None,
+                    arm,
+                    &nostop_obs::Recorder::disabled(),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
     bench_task_kernel,
     bench_normal_sampler,
-    bench_json_boundary
+    bench_json_boundary,
+    bench_superbatch_kernel,
+    bench_superbatch_job
 );
 criterion_main!(benches);

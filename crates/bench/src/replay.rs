@@ -32,24 +32,49 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// The default [`ReplayCache`] admission bound: far above any current
+/// experiment grid (the largest driver stores a few hundred cells), yet a
+/// hard ceiling on memory if a future driver loops over an unbounded
+/// parameter space.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
 /// A memo table over deterministic experiment cells.
 pub struct ReplayCache<K, V> {
     entries: Mutex<HashMap<K, V>>,
+    capacity: usize,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    rejected: AtomicUsize,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> ReplayCache<K, V> {
-    /// An empty cache.
+    /// An empty cache with the [`DEFAULT_CAPACITY`] admission bound.
     pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache admitting at most `capacity` distinct keys.
+    ///
+    /// Admission is deterministic first-insert-wins: once full, new keys
+    /// are computed but never stored (no eviction of resident entries), so
+    /// which keys are cached depends only on insertion order — never on
+    /// timing. A rejected key costs a recompute per lookup, which is the
+    /// same work as running without a cache; correctness never depends on
+    /// a hit.
+    pub fn with_capacity(capacity: usize) -> Self {
         ReplayCache {
             entries: Mutex::new(HashMap::new()),
+            capacity,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            rejected: AtomicUsize::new(0),
         }
     }
 
     /// The cached value for `key`, computing and storing it on a miss.
+    ///
+    /// If the cache is at capacity the computed value is returned but not
+    /// admitted (see [`with_capacity`](Self::with_capacity)).
     pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
         if let Some(v) = self.entries.lock().expect("cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -57,11 +82,12 @@ impl<K: Eq + Hash + Clone, V: Clone> ReplayCache<K, V> {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let v = compute();
-        self.entries
-            .lock()
-            .expect("cache poisoned")
-            .entry(key)
-            .or_insert_with(|| v.clone());
+        let mut entries = self.entries.lock().expect("cache poisoned");
+        if entries.len() < self.capacity || entries.contains_key(&key) {
+            entries.entry(key).or_insert_with(|| v.clone());
+        } else {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+        }
         v
     }
 
@@ -73,6 +99,16 @@ impl<K: Eq + Hash + Clone, V: Clone> ReplayCache<K, V> {
     /// Lookups that had to compute.
     pub fn misses(&self) -> usize {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Computed values that were not admitted because the cache was full.
+    pub fn rejected(&self) -> usize {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// The admission bound this cache was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Number of distinct keys stored.
@@ -121,6 +157,29 @@ mod tests {
         // caller already ran it) but does not overwrite the stored one.
         assert_eq!(cache.get_or_compute(1, || 99), 10);
         assert_eq!(cache.get_or_compute(1, || unreachable!()), 10);
+    }
+
+    #[test]
+    fn capacity_bound_rejects_new_keys_deterministically() {
+        let cache: ReplayCache<u8, u32> = ReplayCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        assert_eq!(cache.get_or_compute(1, || 10), 10);
+        assert_eq!(cache.get_or_compute(2, || 20), 20);
+        // The third key computes correctly but is never admitted.
+        let mut computes = 0;
+        for _ in 0..3 {
+            let v = cache.get_or_compute(3, || {
+                computes += 1;
+                30
+            });
+            assert_eq!(v, 30);
+        }
+        assert_eq!(computes, 3, "a rejected key recomputes every lookup");
+        assert_eq!(cache.len(), 2, "resident entries are never evicted");
+        assert_eq!(cache.rejected(), 3);
+        // The first-admitted keys keep hitting.
+        assert_eq!(cache.get_or_compute(1, || unreachable!()), 10);
+        assert_eq!(cache.get_or_compute(2, || unreachable!()), 20);
     }
 
     #[test]

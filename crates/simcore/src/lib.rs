@@ -20,6 +20,7 @@
 //! Everything here is `no_std`-agnostic in spirit (no I/O, no wall-clock),
 //! which is what makes the experiments reproducible bit-for-bit from a seed.
 
+pub mod arena;
 pub mod events;
 pub mod json;
 pub mod rng;
@@ -27,6 +28,7 @@ pub mod series;
 pub mod stats;
 pub mod time;
 
+pub use arena::Arena;
 pub use events::{BinaryHeapEventQueue, EventQueue, QueueStats};
 pub use json::Json;
 pub use rng::SimRng;

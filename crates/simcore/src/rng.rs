@@ -102,14 +102,15 @@ fn zig_tables() -> &'static ZigTables {
     })
 }
 
-/// `2^(j/32)` for `j in 0..32` — the fractional-power table for
-/// [`fast_exp`].
-fn exp2_frac_table() -> &'static [f64; 32] {
-    static TABLE: OnceLock<[f64; 32]> = OnceLock::new();
+/// `2^(j/32)` for `j in 0..32`, stored as raw IEEE bits — the
+/// fractional-power table for [`fast_exp`]. Bits rather than values so the
+/// integer exponent `e` folds into the entry with one add (see there).
+fn exp2_frac_table() -> &'static [u64; 32] {
+    static TABLE: OnceLock<[u64; 32]> = OnceLock::new();
     TABLE.get_or_init(|| {
-        let mut t = [0.0; 32];
+        let mut t = [0; 32];
         for (j, slot) in t.iter_mut().enumerate() {
-            *slot = (j as f64 / 32.0 * std::f64::consts::LN_2).exp();
+            *slot = (j as f64 / 32.0 * std::f64::consts::LN_2).exp().to_bits();
         }
         t
     })
@@ -143,17 +144,23 @@ fn fast_exp(x: f64) -> f64 {
 /// [`fast_exp`] against a pre-fetched fractional-power table — lets burst
 /// samplers hoist the `OnceLock` load out of their loops.
 #[inline]
-fn fast_exp_with(x: f64, frac: &[f64; 32]) -> f64 {
-    // Near overflow/underflow, or NaN: defer to libm.
-    if x.is_nan() || x.abs() > 500.0 {
+fn fast_exp_with(x: f64, frac_bits: &[u64; 32]) -> f64 {
+    // Near overflow/underflow, or NaN: defer to libm. One compare covers
+    // both guards — NaN fails `<=` — instead of two predicted branches.
+    // The negated form is load-bearing: `x.abs() > 500.0` is false for NaN.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(x.abs() <= 500.0) {
         return x.exp();
     }
     // Round-to-nearest via the 1.5·2^52 magic constant (exact for the
     // |x·INV_LN2_32| ≤ 2^15 this path sees) — `f64::round` is a libm call
     // on baseline x86-64 and would cost as much as the exp it replaces.
     const MAGIC: f64 = 6_755_399_441_055_744.0; // 1.5 · 2^52
-    let k = (x * INV_LN2_32 + MAGIC) - MAGIC;
-    let ki = k as i64;
+    let y = x * INV_LN2_32 + MAGIC;
+    // The magic sum's low mantissa bits ARE the rounded integer in two's
+    // complement (|k| < 2^31 here) — reading them skips the int conversion.
+    let ki = y.to_bits() as i32 as i64;
+    let k = y - MAGIC;
     let r = (x - k * LN2_32_HI) - k * LN2_32_LO;
     // Degree-5 Taylor in Estrin form: r² and r⁴ compute in parallel, so the
     // dependency chain is ~3 multiplies deep instead of Horner's 5 — the
@@ -165,8 +172,12 @@ fn fast_exp_with(x: f64, frac: &[f64; 32]) -> f64 {
     // shift agree on that decomposition for negative ki too.
     let j = (ki & 31) as usize;
     let e = ki >> 5;
-    let scale = f64::from_bits(((1023 + e) as u64) << 52);
-    frac[j] * p * scale
+    // 2^(j/32) lies in [1, 2), so adding `e` to its exponent field is an
+    // exact multiply by 2^e — and power-of-two scaling commutes with
+    // rounding, so `(frac·2^e)·p` equals the naive `frac·p·2^e` bit for
+    // bit while saving a multiply and the separate scale construction.
+    let fs = f64::from_bits(frac_bits[j].wrapping_add((e as u64) << 52));
+    fs * p
 }
 
 /// A deterministic random source with simulation-oriented helpers.
@@ -197,6 +208,16 @@ impl SimRng {
     /// The seed this generator was created from.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The raw xoshiro256++ state words — a position fingerprint.
+    ///
+    /// Two generators with equal state (and seed) produce identical future
+    /// streams, so comparing states proves two simulations consumed
+    /// exactly the same draws. Read-only: state can only advance through
+    /// the drawing methods.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
     }
 
     /// Derive an independent child stream identified by `stream`.
@@ -307,7 +328,12 @@ impl SimRng {
         loop {
             let bits = self.next_u64();
             let k = (bits & 0xFF) as usize;
-            let neg = bits & 0x100 != 0;
+            // Branchless sign: bit 8 of the draw, moved onto the f64 sign
+            // bit (bit 63). The magnitude below is always non-negative and
+            // finite, so the XOR is exactly IEEE negation — bit-identical
+            // to `if neg { -x }` — without a 50/50 branch the predictor
+            // can only ever get half right.
+            let sign = (bits & 0x100) << 55;
             // 53-bit uniform integer from the bits not spent on layer/sign.
             let ui = bits >> 11;
             let (thresh, w) = t.hot[k];
@@ -317,10 +343,10 @@ impl SimRng {
             // layer, left of ZIG_R), so no density check is needed.
             if ui < thresh {
                 let x = ui as f64 * w;
-                return if neg { -x } else { x };
+                return f64::from_bits(x.to_bits() ^ sign);
             }
             if let Some(x) = self.standard_normal_slow(t, k, ui as f64 * w) {
-                return if neg { -x } else { x };
+                return f64::from_bits(x.to_bits() ^ sign);
             }
         }
     }
@@ -379,6 +405,17 @@ impl SimRng {
     /// paying a cross-crate call and two `OnceLock` loads per draw. The DES
     /// task loop draws its per-stage noise through this path.
     pub fn fill_lognormal(&mut self, mu: f64, sigma: f64, count: usize, out: &mut Vec<f64>) {
+        let base = out.len();
+        out.resize(base + count, 0.0);
+        self.fill_lognormal_into(mu, sigma, &mut out[base..]);
+    }
+
+    /// Fill a pre-sized slice with log-normal draws, one per element.
+    ///
+    /// The slice-shaped core of [`fill_lognormal`](Self::fill_lognormal):
+    /// identical draws and arithmetic, but writing into caller-owned
+    /// storage (e.g. an arena lane) with no length bookkeeping at all.
+    pub fn fill_lognormal_into(&mut self, mu: f64, sigma: f64, out: &mut [f64]) {
         let t = zig_tables();
         let frac = exp2_frac_table();
         let s = sigma.max(0.0);
@@ -388,12 +425,10 @@ impl SimRng {
         // state chain), then the exp transform over contiguous memory
         // (pure floating point, pipelines freely) — fusing them would
         // chain the polynomial's latency onto every draw.
-        let base = out.len();
-        out.resize(base + count, 0.0);
-        for slot in out[base..].iter_mut() {
+        for slot in out.iter_mut() {
             *slot = self.standard_normal_with(t);
         }
-        for slot in out[base..].iter_mut() {
+        for slot in out.iter_mut() {
             *slot = fast_exp_with(mu + s * *slot, frac);
         }
     }

@@ -23,7 +23,8 @@ use crate::executor::ExecutorManager;
 use crate::fault::{FaultPlan, FaultState, FaultTimer, TaskFaultCtx};
 use crate::metrics::{BatchMetrics, Listener};
 use crate::noise::{NoiseModel, NoiseParams};
-use crate::scheduler::{simulate_job, JobScratch, Speculation};
+use crate::scheduler::{simulate_job, tasks_for, JobScratch, Speculation};
+use crate::superbatch::{self, BatchSignature, SuperbatchArm, SuperbatchState, SuperbatchStats};
 use nostop_datagen::broker::{Broker, BrokerConfig};
 use nostop_datagen::rate::RateProcess;
 use nostop_datagen::StreamGenerator;
@@ -74,6 +75,12 @@ pub struct EngineParams {
     /// Scheduled faults (crashes, stragglers, outages, task failures).
     /// The default empty plan is byte-identical to a fault-free engine.
     pub faults: FaultPlan,
+    /// Allow the superbatch fast path (closed-form batch simulation when
+    /// consecutive batches share a [`BatchSignature`] and the cluster is
+    /// quiet). Results are bit-identical either way — this switch and the
+    /// `NOSTOP_NO_SUPERBATCH=1` env override exist for the differential
+    /// test and for benchmarking the exact path.
+    pub superbatch: bool,
     /// Master seed; all internal streams fork from it.
     pub seed: u64,
 }
@@ -95,6 +102,7 @@ impl EngineParams {
             speculation: None,
             metrics_window: Listener::DEFAULT_WINDOW,
             faults: FaultPlan::none(),
+            superbatch: true,
             seed,
         }
     }
@@ -161,6 +169,10 @@ pub struct StreamingEngine {
     /// Trace recorder (disabled by default: one cold branch per event
     /// site, no RNG draws, identical simulation either way).
     obs: Recorder,
+    /// Superbatch fast-path state: previous signature, counters, stage
+    /// log. The probe kernel runs even when the path is disabled so both
+    /// modes consume identical RNG (see [`crate::superbatch`]).
+    superbatch: SuperbatchState,
 }
 
 impl StreamingEngine {
@@ -187,6 +199,10 @@ impl StreamingEngine {
         });
         let next_cut = SimTime::ZERO + initial.batch_interval;
         let metrics_window = params.metrics_window;
+        let superbatch = SuperbatchState {
+            enabled: params.superbatch && !superbatch::env_disabled(),
+            ..SuperbatchState::default()
+        };
         StreamingEngine {
             params,
             cost,
@@ -212,6 +228,7 @@ impl StreamingEngine {
             dropped_records: 0,
             pending_failures: 0,
             obs: Recorder::disabled(),
+            superbatch,
         }
     }
 
@@ -286,6 +303,22 @@ impl StreamingEngine {
     /// The listener retaining all completed-batch metrics.
     pub fn listener(&self) -> &Listener {
         &self.listener
+    }
+
+    /// How often the superbatch fast path engaged so far.
+    pub fn superbatch_stats(&self) -> SuperbatchStats {
+        self.superbatch.stats
+    }
+
+    /// The engine's three RNG stream positions (noise, job, fault),
+    /// concatenated — a determinism fingerprint the differential test
+    /// compares bit-for-bit between fast-path and exact-path runs.
+    pub fn rng_fingerprint(&self) -> [u64; 12] {
+        let mut out = [0u64; 12];
+        out[..4].copy_from_slice(&self.noise.rng_state());
+        out[4..8].copy_from_slice(&self.job_rng.state());
+        out[8..].copy_from_slice(&self.fault_rng.state());
+        out
     }
 
     /// Batches waiting in the queue.
@@ -470,6 +503,8 @@ impl StreamingEngine {
                 state: &self.faults,
                 rng: &mut self.fault_rng,
             }),
+            // A crash replan is never in steady state — no superbatch arm.
+            None,
             &self.obs,
         );
         if self.obs.is_enabled() {
@@ -626,14 +661,39 @@ impl StreamingEngine {
                 ],
             );
         }
-        let executors = self.executors.executors_mut();
+        // Superbatch arming: the shape fingerprint. A match means the
+        // previous job ran this (interval, record-bucket, fleet) shape;
+        // backlog (a non-empty queue shifts the start semantics into
+        // catch-up territory), fresh executors (one-time init), and an
+        // engaged speculation pass all keep the job unarmed. An armed job
+        // decides fast-vs-exact per executor block inside `simulate_job` —
+        // each block's closed form is kept iff its node is contention- and
+        // fault-quiet over the block's own span, so one episode on one
+        // node only evicts the blocks it touches. Under the kill switch
+        // the blocks are still probed and counted (drawing no RNG) but
+        // never used, keeping both modes bit-identical end to end.
+        let sig = BatchSignature {
+            interval_us: batch.interval.as_micros(),
+            records: batch.records,
+            fleet_version: self.executors.fleet_version(),
+        };
+        let spec_engaged = self.params.speculation.is_some_and(|spec| {
+            tasks_for(batch.interval, self.params.block_interval) as usize >= spec.min_tasks
+        });
+        let sig_hit = self.superbatch.prev.is_some_and(|prev| prev.matches(&sig))
+            && self.queue.is_empty()
+            && !spec_engaged
+            && self.executors.executors().iter().all(|e| !e.fresh);
+        self.superbatch.prev = Some(sig);
+
+        let stats_before = self.superbatch.stats;
         let result = simulate_job(
             &self.cost,
             batch.records,
             batch.interval,
             self.params.block_interval,
             start,
-            executors,
+            self.executors.executors_mut(),
             self.params.executor_init,
             &mut self.noise,
             stages,
@@ -643,9 +703,19 @@ impl StreamingEngine {
                 state: &self.faults,
                 rng: &mut self.fault_rng,
             }),
+            sig_hit.then_some(SuperbatchArm {
+                use_fast: self.superbatch.enabled,
+                stats: &mut self.superbatch.stats,
+            }),
             &self.obs,
         );
+        // Mode-independent by construction: eligibility is counted whether
+        // or not closed-form results are used.
+        let superbatch_frac = self.superbatch.eligible_fraction_since(&stats_before);
         if self.obs.is_enabled() {
+            if superbatch_frac == 1.0 {
+                self.obs.add(start, "superbatch_eligible", 1);
+            }
             self.obs.exit(
                 result.finished_at,
                 "job",
@@ -657,6 +727,7 @@ impl StreamingEngine {
                     ("stages", result.stages as f64),
                     ("busy_core_us", result.busy_core_us as f64),
                     ("task_retries", result.task_retries as f64),
+                    ("superbatch", superbatch_frac),
                 ],
             );
         }
@@ -675,7 +746,8 @@ impl StreamingEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nostop_datagen::rate::ConstantRate;
+    use crate::FaultEvent;
+    use nostop_datagen::rate::{ConstantRate, SurgeRate};
 
     fn engine(rate: f64, interval_s: f64, executors: u32, seed: u64) -> StreamingEngine {
         let mut params = EngineParams::paper(WorkloadKind::LogisticRegression, seed);
@@ -908,5 +980,191 @@ mod tests {
         let p14 = time_at(14.0);
         assert!(p5 > 5.0, "unstable below crossover: {p5}");
         assert!(p14 < 14.0, "stable above crossover: {p14}");
+    }
+
+    // ---- Superbatch trigger coverage: every event class that must keep
+    // ---- the fast path honest either misses the signature (reconfigure,
+    // ---- crash/relaunch, record change, backlog) or fails the per-block
+    // ---- quiet check (slowdown window). Noise is disabled in `engine`,
+    // ---- so contention never interferes with these structural asserts.
+
+    /// Per-batch increments of `fast_batches` over the next `n` batches.
+    fn fast_deltas(e: &mut StreamingEngine, n: usize) -> Vec<u64> {
+        (0..n)
+            .map(|_| {
+                let before = e.superbatch_stats().fast_batches;
+                e.run_batches(1);
+                e.superbatch_stats().fast_batches - before
+            })
+            .collect()
+    }
+
+    #[test]
+    fn superbatch_disarms_on_reconfigure_then_rearms() {
+        let mut e = engine(10_000.0, 15.0, 14, 21);
+        e.run_batches(4);
+        assert!(
+            e.superbatch_stats().fast_batches >= 2,
+            "steady state must engage before the trigger"
+        );
+        e.apply_config(StreamConfig::new(SimDuration::from_secs(16), 14));
+        let d = fast_deltas(&mut e, 5);
+        // The transition batch is cut at the new interval but holds the
+        // old interval's accumulated records, so the switch disarms two
+        // batches: one on `interval_us`, the next on the record bucket.
+        assert_eq!(
+            d,
+            vec![0, 0, 1, 1, 1],
+            "interval miss, bucket miss, then re-armed: {d:?}"
+        );
+    }
+
+    #[test]
+    fn superbatch_disarms_on_crash_and_relaunch() {
+        let mut params = EngineParams::paper(WorkloadKind::LogisticRegression, 22);
+        params.noise = NoiseParams::disabled();
+        params.faults = FaultPlan::new(vec![FaultEvent::ExecutorCrash {
+            at: SimTime::from_secs_f64(100.0),
+            count: 1,
+            relaunch_after: Some(SimDuration::from_secs(30)),
+        }]);
+        let mut e = StreamingEngine::new(
+            params,
+            StreamConfig::new(SimDuration::from_secs(15), 14),
+            Box::new(ConstantRate::new(10_000.0)),
+        );
+        let d = fast_deltas(&mut e, 14);
+        assert!(
+            d[2..6].iter().all(|&x| x == 1),
+            "steady before the crash: {d:?}"
+        );
+        // Fleet-version bumps at crash and relaunch each miss the
+        // signature. (The fresh-executor veto is shadowed here: the
+        // relaunch batch both misses the signature and consumes the
+        // relaunched executor's one-time init, so no later batch sees a
+        // fresh executor under a matching signature.)
+        assert!(
+            d[6..10].iter().filter(|&&x| x == 0).count() >= 2,
+            "crash and relaunch batches disarm: {d:?}"
+        );
+        assert!(
+            d[12..].iter().all(|&x| x == 1),
+            "fast path resumes once the fleet is steady again: {d:?}"
+        );
+    }
+
+    #[test]
+    fn superbatch_falls_back_per_block_during_slowdown_window() {
+        let mut params = EngineParams::paper(WorkloadKind::LogisticRegression, 23);
+        params.noise = NoiseParams::disabled();
+        params.faults = FaultPlan::new(vec![FaultEvent::NodeSlowdown {
+            node: 1,
+            from: SimTime::from_secs_f64(100.0),
+            until: SimTime::from_secs_f64(140.0),
+            factor: 0.8,
+        }]);
+        let mut e = StreamingEngine::new(
+            params,
+            StreamConfig::new(SimDuration::from_secs(15), 14),
+            Box::new(ConstantRate::new(10_000.0)),
+        );
+        e.run_batches(6); // through t = 90: window not yet open
+        let before = e.superbatch_stats();
+        assert_eq!(before.quiescence_fallbacks, 0, "quiet before the window");
+        assert!(before.fast_batches >= 3);
+        e.run_batches(4); // spans the [100 s, 140 s) slowdown window
+        let during = e.superbatch_stats();
+        // The signature still matches (fleet and records unchanged), so
+        // the jobs stay armed — but node 1's blocks fail `block_quiet`
+        // and fall back per task, while other nodes' blocks stay fast.
+        assert!(
+            during.quiescence_fallbacks >= 2,
+            "window batches keep arming but fall back: {during:?}"
+        );
+        assert!(
+            during.eligible_blocks < during.armed_blocks,
+            "dirty blocks must be counted ineligible: {during:?}"
+        );
+        assert!(
+            during.fast_blocks > before.fast_blocks,
+            "blocks off the slowed node still go fast: {during:?}"
+        );
+        let d = fast_deltas(&mut e, 3);
+        assert!(
+            d[1..].iter().all(|&x| x == 1),
+            "whole batches go fast again after the window closes: {d:?}"
+        );
+    }
+
+    #[test]
+    fn superbatch_disarms_on_receiver_outage() {
+        let mut params = EngineParams::paper(WorkloadKind::LogisticRegression, 24);
+        params.noise = NoiseParams::disabled();
+        params.faults = FaultPlan::new(vec![FaultEvent::ReceiverOutage {
+            from: SimTime::from_secs_f64(95.0),
+            until: SimTime::from_secs_f64(110.0),
+        }]);
+        let mut e = StreamingEngine::new(
+            params,
+            StreamConfig::new(SimDuration::from_secs(15), 14),
+            Box::new(ConstantRate::new(10_000.0)),
+        );
+        let d = fast_deltas(&mut e, 14);
+        assert!(d[2..6].iter().all(|&x| x == 1), "steady before: {d:?}");
+        // The starved batch and the catch-up batches that follow all land
+        // outside the previous batch's record bucket.
+        assert!(
+            d[6..].iter().filter(|&&x| x == 0).count() >= 2,
+            "outage and catch-up batches disarm: {d:?}"
+        );
+        assert!(
+            d[12..].iter().all(|&x| x == 1),
+            "steady volume re-arms: {d:?}"
+        );
+    }
+
+    #[test]
+    fn superbatch_disarms_on_record_bucket_change() {
+        // A +20% rate surge moves the record count far outside the
+        // signature's 1/256 bucket; the bucket still absorbs the broker's
+        // partition-carry wobble in the steady segments on either side.
+        let mut params = EngineParams::paper(WorkloadKind::LogisticRegression, 25);
+        params.noise = NoiseParams::disabled();
+        let mut e = StreamingEngine::new(
+            params,
+            StreamConfig::new(SimDuration::from_secs(15), 14),
+            Box::new(SurgeRate::scheduled(
+                Box::new(ConstantRate::new(10_000.0)),
+                1.2,
+                100.0,
+                20.0,
+            )),
+        );
+        let d = fast_deltas(&mut e, 14);
+        assert!(d[2..6].iter().all(|&x| x == 1), "steady before: {d:?}");
+        // Entering, riding, and leaving the surge each shift the bucket.
+        assert!(
+            d[6..10].iter().filter(|&&x| x == 0).count() >= 2,
+            "surge boundaries disarm: {d:?}"
+        );
+        assert!(
+            d[11..].iter().all(|&x| x == 1),
+            "post-surge steady state re-arms: {d:?}"
+        );
+    }
+
+    #[test]
+    fn superbatch_never_arms_with_backlog_carry_over() {
+        // A 3 s interval is far below LR's crossover: the queue never
+        // drains, so every batch carries backlog and must stay unarmed
+        // even though consecutive signatures match.
+        let mut e = engine(10_000.0, 3.0, 10, 26);
+        e.run_batches(15);
+        assert!(e.queue_len() > 0, "the regime must actually be congested");
+        let s = e.superbatch_stats();
+        assert_eq!(
+            s.armed_blocks, 0,
+            "backlogged batches must never arm: {s:?}"
+        );
     }
 }

@@ -37,6 +37,13 @@ pub struct ExecutorManager {
     executors: Vec<Executor>,
     next_id: u64,
     launch_delay: SimDuration,
+    /// Bumped on every fleet mutation (launch, retire, crash) — a cheap
+    /// fingerprint the superbatch signature compares instead of the
+    /// executor vector itself. Clearing `fresh` flags during a job does
+    /// NOT bump it: the first post-launch job already missed the
+    /// signature (the launch bumped it), and after that job the cleared
+    /// flags are exactly what an unchanged version implies.
+    version: u64,
 }
 
 impl ExecutorManager {
@@ -49,7 +56,13 @@ impl ExecutorManager {
             executors: Vec::new(),
             next_id: 0,
             launch_delay,
+            version: 0,
         }
+    }
+
+    /// Fleet fingerprint: changes whenever the executor set does.
+    pub fn fleet_version(&self) -> u64 {
+        self.version
     }
 
     /// Current executor count (including still-launching ones).
@@ -94,6 +107,7 @@ impl ExecutorManager {
             for _ in 0..(current - target) {
                 self.executors.pop();
             }
+            self.version += 1;
         }
     }
 
@@ -110,6 +124,9 @@ impl ExecutorManager {
             let victim = rng.uniform_u64(0, self.executors.len() as u64 - 1) as usize;
             self.executors.remove(victim);
             killed += 1;
+        }
+        if killed > 0 {
+            self.version += 1;
         }
         killed
     }
@@ -149,6 +166,7 @@ impl ExecutorManager {
             .expect("set_target capped at capacity, a free core must exist");
         let id = self.next_id;
         self.next_id += 1;
+        self.version += 1;
         self.executors.push(Executor {
             id,
             node: node.id,
@@ -258,6 +276,26 @@ mod tests {
         };
         assert_eq!(survivors(3), survivors(3));
         assert_ne!(survivors(3), survivors(4));
+    }
+
+    #[test]
+    fn fleet_version_tracks_every_mutation() {
+        let mut m = manager();
+        let v0 = m.fleet_version();
+        m.bootstrap(4);
+        let v1 = m.fleet_version();
+        assert!(v1 > v0, "bootstrap launches bump the version");
+        m.set_target(6, SimTime::ZERO);
+        let v2 = m.fleet_version();
+        assert!(v2 > v1, "scale-up bumps");
+        m.set_target(3, SimTime::ZERO);
+        let v3 = m.fleet_version();
+        assert!(v3 > v2, "scale-down bumps");
+        m.set_target(3, SimTime::ZERO);
+        assert_eq!(m.fleet_version(), v3, "no-op retarget does not bump");
+        let mut rng = SimRng::seed_from_u64(1);
+        m.crash(1, &mut rng);
+        assert!(m.fleet_version() > v3, "crash bumps");
     }
 
     #[test]

@@ -349,6 +349,55 @@ impl FaultState {
         1.0 - survive
     }
 
+    /// True when no slowdown or task-failure window touches `[from, until]`
+    /// on any node: every per-task `slowdown_factor` query in the range
+    /// returns exactly 1.0 and every `task_failure_probability` query
+    /// exactly 0.0 (so the retry loop draws nothing). The superbatch fast
+    /// path requires this over a job's whole span before skipping the
+    /// per-task fault queries. Conservative across nodes by design — a
+    /// slowdown on *any* node vetoes the range, which can only cause a
+    /// harmless exact-path fallback.
+    pub fn tasks_quiet_over(&self, from: SimTime, until: SimTime) -> bool {
+        if !self.has_slowdowns && !self.has_failures {
+            return true;
+        }
+        self.plan.events().iter().all(|e| match *e {
+            FaultEvent::NodeSlowdown {
+                from: s, until: u, ..
+            }
+            | FaultEvent::TaskFailures {
+                from: s, until: u, ..
+            } => s > until || u <= from,
+            _ => true,
+        })
+    }
+
+    /// Per-block refinement of [`tasks_quiet_over`](Self::tasks_quiet_over):
+    /// true when no slowdown window *on `node`* and no task-failure window
+    /// (failures are global) touches `[from, until]`. Every per-task
+    /// `slowdown_factor(node, ·)` query in the range then returns exactly
+    /// 1.0 and every `task_failure_probability` query exactly 0.0, so the
+    /// superbatch fast path may skip the block's per-task fault queries —
+    /// while a slowdown pinned to a *different* node correctly only forces
+    /// that node's blocks onto the exact path.
+    pub fn block_quiet(&self, node: usize, from: SimTime, until: SimTime) -> bool {
+        if !self.has_slowdowns && !self.has_failures {
+            return true;
+        }
+        self.plan.events().iter().all(|e| match *e {
+            FaultEvent::NodeSlowdown {
+                node: n,
+                from: s,
+                until: u,
+                ..
+            } => n != node || s > until || u <= from,
+            FaultEvent::TaskFailures {
+                from: s, until: u, ..
+            } => s > until || u <= from,
+            _ => true,
+        })
+    }
+
     /// True when `t` falls inside any receiver-outage window.
     pub fn in_outage(&self, t: SimTime) -> bool {
         self.plan.events().iter().any(
@@ -493,6 +542,35 @@ mod tests {
         assert_eq!(s.task_failure_probability(t(10.0)), 0.5);
         assert!((s.task_failure_probability(t(60.0)) - 0.75).abs() < 1e-12);
         assert_eq!(s.task_failure_probability(t(200.0)), 0.0);
+    }
+
+    #[test]
+    fn tasks_quiet_over_sees_slowdown_and_failure_windows() {
+        let s = FaultState::new(FaultPlan::new(vec![
+            FaultEvent::NodeSlowdown {
+                node: 1,
+                from: t(100.0),
+                until: t(120.0),
+                factor: 0.5,
+            },
+            FaultEvent::TaskFailures {
+                from: t(300.0),
+                until: t(310.0),
+                probability: 0.2,
+            },
+        ]));
+        assert!(s.tasks_quiet_over(t(0.0), t(99.0)));
+        assert!(!s.tasks_quiet_over(t(90.0), t(100.0)), "touching the open");
+        assert!(!s.tasks_quiet_over(t(110.0), t(115.0)), "inside");
+        assert!(s.tasks_quiet_over(t(120.0), t(299.0)), "ends are exclusive");
+        assert!(!s.tasks_quiet_over(t(299.0), t(305.0)));
+        assert!(s.tasks_quiet_over(t(310.0), t(1e6)));
+        // Outage windows do not veto task quiet — they gate ingest only.
+        let o = FaultState::new(FaultPlan::new(vec![FaultEvent::ReceiverOutage {
+            from: t(10.0),
+            until: t(20.0),
+        }]));
+        assert!(o.tasks_quiet_over(t(0.0), t(100.0)));
     }
 
     #[test]

@@ -17,10 +17,14 @@
 //!   broker at every interval boundary, batches queue FIFO, and the
 //!   scheduling delay of a queued batch is exactly Spark's;
 //! * [`scheduler`] — per-job stage/task simulation: tasks = block count
-//!   (interval / 200 ms block interval), greedy list scheduling onto
-//!   executor slots (waves emerge naturally), per-node speed and contention,
-//!   shuffle and sink I/O charged against the node's disk class, and
-//!   per-task log-normal noise;
+//!   (interval / 200 ms block interval), speed-proportional quota blocks
+//!   onto executor slots (waves emerge naturally), per-node speed and
+//!   contention, shuffle and sink I/O charged against the node's disk
+//!   class, and per-task log-normal noise;
+//! * [`superbatch`] — the closed-form fast path: when consecutive batches
+//!   share a shape signature and the cluster is provably quiet over the
+//!   job's span, the per-task simulation collapses to one prefix sum per
+//!   executor block, bit-identical to the exact path;
 //! * [`noise`] — the stochastic environment: multiplicative task noise and
 //!   Poisson contention windows per node;
 //! * [`fault`] — deterministic fault injection: a [`fault::FaultPlan`]
@@ -50,6 +54,7 @@ pub mod fault;
 pub mod metrics;
 pub mod noise;
 pub mod scheduler;
+pub mod superbatch;
 pub mod threaded;
 
 pub use adapter::SimSystem;
@@ -60,4 +65,5 @@ pub use fault::{FaultEvent, FaultPlan};
 pub use metrics::{BatchMetrics, Listener};
 pub use noise::NoiseParams;
 pub use scheduler::{JobResult, JobScratch, Speculation};
+pub use superbatch::{BatchSignature, SuperbatchArm, SuperbatchStats};
 pub use threaded::RemoteSystem;

@@ -6,18 +6,44 @@
 //! pair, Log Analyze its four-stage pipeline. A stage splits the batch into
 //! tasks — one per block, where the block count is
 //! `batch interval / block interval` (Spark's 200 ms default) — and the
-//! tasks are greedily list-scheduled onto executor slots. Task *waves*
+//! tasks are assigned to executors as contiguous blocks sized by
+//! speed-proportional quotas ([`nostop_workloads::memo::speed_quotas`]):
+//! executor `e` runs `≈ n·speed_e/Σspeed` tasks back to back from its slot
+//! open. On a homogeneous cluster this is exactly the split duration-greedy
+//! list scheduling produces; on a heterogeneous one it is the proportional
+//! assignment greedy converges to over many waves — and being *static*, it
+//! collapses to a per-stage closed form whenever no per-task state (noise
+//! episodes, fault windows, speculation) intervenes, which is what the
+//! engine's superbatch fast path exploits. Task *waves*
 //! (`⌈tasks / executors⌉`), heterogeneity (per-node speed), disk class
 //! (shuffle/sink I/O), contention windows, stragglers, and the U-shaped
 //! executor-count effect of Fig. 3 all emerge from this model rather than
 //! being postulated.
+//!
+//! Per-job scratch is a single two-lane arena frame
+//! ([`nostop_simcore::Arena`]) carved into struct-of-arrays task state —
+//! per-executor cursors, memo keys and work values, per-task durations and
+//! noise factors — so a job touches two contiguous blocks instead of six
+//! scattered `Vec`s and steady state runs allocation-free.
 
 use crate::executor::Executor;
 use crate::fault::TaskFaultCtx;
 use crate::noise::NoiseModel;
+use crate::superbatch::SuperbatchArm;
 use nostop_obs::Recorder;
-use nostop_simcore::{SimDuration, SimTime};
-use nostop_workloads::{CostModel, JobCostTable};
+use nostop_simcore::{Arena, SimDuration, SimTime};
+use nostop_workloads::{block_prefix, round_duration_us, speed_quotas, CostModel, JobCostTable};
+
+/// Tasks per stage for a batch: `batch interval / block interval`,
+/// floored at one (Spark cuts one task per block).
+#[inline]
+pub(crate) fn tasks_for(interval: SimDuration, block_interval: SimDuration) -> u32 {
+    ((interval.as_micros() / block_interval.as_micros().max(1)).max(1)) as u32
+}
+
+/// Sentinel for an invalid per-executor work memo entry: no real
+/// contention factor has these bits (they encode a NaN).
+const MEMO_INVALID: u64 = u64::MAX;
 
 /// The outcome of simulating one job.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,47 +62,13 @@ pub struct JobResult {
     pub task_retries: u32,
 }
 
-/// Pick the next slot: the earliest-available executor, ties broken by the
-/// lowest index — the exact `(available_at, index)` minimum the previous
-/// binary-heap implementation popped, via a branch-predictable linear scan.
-/// At the executor counts this simulator runs (the paper's clusters top out
-/// at a few dozen cores) the scan beats heap sift-down by ~4×; the order,
-/// and therefore every simulated trace, is bit-identical.
-#[inline]
-fn pick_slot(avail: &[u64]) -> usize {
-    let mut best = 0;
-    for (idx, &a) in avail.iter().enumerate().skip(1) {
-        if a < avail[best] {
-            best = idx;
-        }
-    }
-    best
-}
-
-/// Per-executor memo of the deterministic part of a task's duration: the
-/// cost-table work divided by the effective speed, plus the disk-charged
-/// shuffle read. Keyed by the two per-task multipliers that can change
-/// between tasks on the same executor — the contention factor and the fault
-/// slowdown factor — and rebuilt per stage (stage position changes the cost
-/// class). On a quiet cluster every task after an executor's first is a
-/// cache hit, and the computation on a miss replays the exact
-/// floating-point op sequence of the old per-task code, so results are
-/// bit-identical.
-#[derive(Debug, Clone, Copy, Default)]
-struct WorkMemo {
-    cf_bits: u64,
-    slow_bits: u64,
-    work_us: [f64; 2],
-    valid: bool,
-}
-
 /// Speculative-execution policy (Spark's `spark.speculation`).
 ///
 /// When a task runs longer than `multiplier` × the stage's median task
 /// duration, a speculative copy is launched on an idle executor; whichever
 /// finishes first wins. Modeled as capping straggler durations at
-/// `multiplier × median + relaunch overhead` and re-running the stage's
-/// list schedule — the straggler's slot frees correspondingly earlier.
+/// `multiplier × median + relaunch overhead` and re-summing each
+/// executor's block — the straggler's slot frees correspondingly earlier.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Speculation {
     /// Straggler threshold as a multiple of the stage median (Spark's
@@ -99,52 +91,33 @@ impl Default for Speculation {
     }
 }
 
-/// Reusable buffers for [`simulate_job`]'s hot loop.
+/// Reusable arena for [`simulate_job`]'s hot loop.
 ///
-/// Every stage needs a slot heap over the executors and a per-task
-/// duration list; a steady-state engine simulates thousands of jobs, so
-/// allocating those afresh per job dominated the DES profile. The scratch
-/// keeps the backing storage alive across jobs — `simulate_job` clears and
-/// refills it, never shrinking, so steady state runs allocation-free.
-/// Scratch contents carry no state between calls; a fresh
-/// `JobScratch::default()` and a reused one produce identical results.
+/// Every stage needs per-executor cursors and a per-task duration list; a
+/// steady-state engine simulates thousands of jobs, so allocating those
+/// afresh per job dominated the DES profile. The scratch owns one two-lane
+/// bump [`Arena`] from which `simulate_job` carves its whole
+/// struct-of-arrays frame — the lanes grow to the high-water mark and are
+/// then reused, so steady state runs allocation-free and every stage walks
+/// two contiguous blocks. Scratch contents carry no state between calls; a
+/// fresh `JobScratch::default()` and a reused one produce identical
+/// results.
 #[derive(Debug, Default)]
 pub struct JobScratch {
-    /// Slot availability per executor index (µs) for list scheduling.
-    avail: Vec<u64>,
-    /// Per-task durations of the current stage (filled only when the
-    /// speculation pass will need them — without it the busy sum is
-    /// accumulated inline and the stage runs without this buffer).
-    durations: Vec<u64>,
-    /// Partition buffer for the speculation median.
-    median_buf: Vec<u64>,
-    /// Per-executor one-time init still owed (µs).
-    extra_init: Vec<u64>,
-    /// Per-executor memo of the deterministic task-work term.
-    work_memo: Vec<WorkMemo>,
-    /// Per-task noise factors for the current stage, drawn in one burst.
-    noise_buf: Vec<f64>,
+    arena: Arena,
 }
 
 impl JobScratch {
-    /// An empty scratch; buffers grow on first use and are then reused.
+    /// An empty scratch; lanes grow on first use and are then reused.
     pub fn new() -> Self {
         JobScratch::default()
     }
-}
 
-/// Run one greedy list-scheduling pass: pick the earliest-available slot,
-/// assign the next duration, release the slot at its new time. Returns the
-/// stage end.
-fn list_schedule(avail: &mut [u64], durations: &[u64], stage_start: u64) -> u64 {
-    let mut stage_end = stage_start;
-    for &dur in durations {
-        let idx = pick_slot(avail);
-        let done = avail[idx] + dur;
-        stage_end = stage_end.max(done);
-        avail[idx] = done;
+    /// The backing arena, shared with the engine's superbatch kernel so
+    /// the fast and exact paths reuse the same high-water storage.
+    pub(crate) fn arena(&mut self) -> &mut Arena {
+        &mut self.arena
     }
-    stage_end
 }
 
 /// Simulate one job over `records` records starting at `start`.
@@ -156,10 +129,17 @@ fn list_schedule(avail: &mut [u64], durations: &[u64], stage_start: u64) -> u64 
 /// threads the engine's fault windows through task placement: slowdown
 /// windows scale the slot's speed, and failure windows re-run tasks with
 /// a bounded Bernoulli retry loop (`None` is bit-identical to a fault-free
-/// build — no extra RNG draws). `obs` receives one span per stage when
-/// enabled; a disabled recorder costs one branch per stage and draws no
-/// RNG, so the simulated schedule is identical either way. Panics if
-/// `executors` is empty — the engine guarantees at least one.
+/// build — no extra RNG draws). `superbatch` arms the per-block closed
+/// form (see [`crate::superbatch`]): each executor's block is first
+/// computed by [`block_prefix`] and kept iff its node is contention- and
+/// fault-quiet over the block's own span — bit-identical to the per-task
+/// loop there by construction — while dirty blocks fall back task by
+/// task; `None` (or an armed job with an engaged speculation pass, whose
+/// duration list the closed form cannot produce) runs everything exactly.
+/// `obs` receives one span per stage when enabled; a disabled recorder
+/// costs one branch per stage and draws no RNG, so the simulated schedule
+/// is identical either way. Panics if `executors` is empty — the engine
+/// guarantees at least one.
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_job(
     cost: &CostModel,
@@ -174,19 +154,13 @@ pub fn simulate_job(
     speculation: Option<Speculation>,
     scratch: &mut JobScratch,
     mut faults: Option<TaskFaultCtx>,
+    superbatch: Option<SuperbatchArm<'_>>,
     obs: &Recorder,
 ) -> JobResult {
     assert!(!executors.is_empty(), "job needs at least one executor");
-    let JobScratch {
-        avail,
-        durations,
-        median_buf,
-        extra_init,
-        work_memo,
-        noise_buf,
-    } = scratch;
-    let tasks_per_stage =
-        ((interval.as_micros() / block_interval.as_micros().max(1)).max(1)) as u32;
+    let m = executors.len();
+    let tasks_per_stage = tasks_for(interval, block_interval);
+    let n = tasks_per_stage as usize;
 
     // The memoized task-time kernel: every RNG-independent per-task cost,
     // computed once per job instead of once per task (bit-identical — see
@@ -199,24 +173,51 @@ pub fn simulate_job(
     // The speculation pass is the only consumer of the per-task duration
     // list; without it the busy sum is accumulated inline.
     let need_durations = speculation.is_some_and(|spec| tasks_per_stage as usize >= spec.min_tasks);
+    // Superbatch arming: the closed form cannot produce the per-task
+    // duration list an engaged speculation pass consumes, so that case
+    // stays fully exact (the engine never arms such jobs; direct callers
+    // get the same veto).
+    let armed = superbatch.is_some() && !need_durations;
+    let use_fast = superbatch.as_ref().is_some_and(|a| a.use_fast);
+    let mut armed_blocks: u64 = 0;
+    let mut eligible_blocks: u64 = 0;
+    let mut fast_blocks: u64 = 0;
 
     // Driver-side serial costs: job submission plus per-executor
     // management bookkeeping (the Fig-3 right arm).
     let serial_us = cost.batch_overhead_us + cost.mgmt_per_executor_us * executors.len() as f64;
     let mut t_us = start.as_micros() + serial_us.round() as u64;
 
+    // Carve the whole job's struct-of-arrays state out of one arena frame:
+    // int lane = per-executor init/opens/quotas + per-task durations and
+    // the speculation median partition buffer; float lane = per-task noise
+    // factors + per-executor speeds and the quota remainder scratch.
+    let (ints, floats) = scratch.arena().frame(3 * m + 2 * n, n + 2 * m);
+    let (extra_init, ints) = ints.split_at_mut(m);
+    let (opens, ints) = ints.split_at_mut(m);
+    let (quotas, ints) = ints.split_at_mut(m);
+    let (durations, median_buf) = ints.split_at_mut(n);
+    let (noise_buf, floats) = floats.split_at_mut(n);
+    let (speeds, fracs) = floats.split_at_mut(m);
+
     // Per-executor one-time initialization (jar shipping) for fresh ones.
-    extra_init.clear();
-    extra_init.extend(executors.iter().map(|e| {
-        if e.fresh {
+    for (slot, e) in extra_init.iter_mut().zip(executors.iter()) {
+        *slot = if e.fresh {
             executor_init.as_micros()
         } else {
             0
-        }
-    }));
+        };
+    }
     for e in executors.iter_mut() {
         e.fresh = false;
     }
+
+    // Static speed-proportional task quotas, fixed for the whole job (the
+    // executor set is snapshotted at job start).
+    for (slot, e) in speeds.iter_mut().zip(executors.iter()) {
+        *slot = e.speed;
+    }
+    speed_quotas(speeds, tasks_per_stage, quotas, fracs);
 
     // Spread records over tasks: the first `rem` tasks get one extra record
     // (bucket 1 in the cost table), the rest the base count (bucket 0).
@@ -233,117 +234,154 @@ pub fn simulate_job(
                 &[("idx", stage as f64), ("tasks", tasks_per_stage as f64)],
             );
         }
-        let slot_open =
-            |e: &Executor, init: u64| stage_start.max(e.ready_at.as_micros()).saturating_add(init);
         let costs = table.stage(stage);
 
-        // First pass: assign tasks greedily.
-        avail.clear();
-        avail.extend(
-            executors
-                .iter()
-                .enumerate()
-                .map(|(idx, e)| slot_open(e, extra_init[idx])),
-        );
-        // Stage position changes the cost class, so the memo resets here.
-        work_memo.clear();
-        work_memo.resize(executors.len(), WorkMemo::default());
+        for ((open, e), &init) in opens
+            .iter_mut()
+            .zip(executors.iter())
+            .zip(extra_init.iter())
+        {
+            *open = stage_start.max(e.ready_at.as_micros()).saturating_add(init);
+        }
         // Draw the stage's task noise in one burst — same draws as per-task
         // calls, but the sampler's tables stay cache-hot.
-        noise.fill_task_factors(cost.noise_sigma, tasks_per_stage as usize, noise_buf);
-        durations.clear();
+        noise.fill_task_factors_into(cost.noise_sigma, noise_buf);
         let mut stage_end = stage_start;
         let mut stage_busy: u64 = 0;
-        for task in 0..tasks_per_stage {
-            let idx = pick_slot(avail);
-            let at = avail[idx];
-            let e = &executors[idx];
-            let bucket = usize::from(task < rem);
-
-            // CPU speed and contention scale compute time; an active
-            // straggler window slows the node further. The contention
-            // query stays per-task (it advances the episode process), but
-            // the division and shuffle charge are memoized per executor.
-            let cf = noise.contention_factor(e.node, SimTime::from_micros(at));
-            let slow = match faults.as_ref() {
-                Some(f) if query_slowdowns => {
-                    f.state.slowdown_factor(e.node, SimTime::from_micros(at))
+        let mut next: usize = 0;
+        for (idx, e) in executors.iter().enumerate() {
+            let quota = quotas[idx] as usize;
+            if quota == 0 {
+                continue;
+            }
+            let mut at = opens[idx];
+            if armed {
+                armed_blocks += 1;
+                // Closed-form attempt: schedule the whole block as if its
+                // node were quiet — the same flops a quiet per-task run
+                // performs (a contention/slowdown factor of 1.0 multiplies
+                // bitwise-identically), with no queries and no RNG — then
+                // verify that assumption over the block's own span. A quiet
+                // verdict makes the closed form exact: every per-task query
+                // it skipped would have returned 1.0 and drawn nothing. A
+                // dirty block — and only that block — falls through to the
+                // per-task loop, which advances the episode process and
+                // draws exactly as an unarmed run would.
+                let denom = e.speed.max(0.05);
+                let mut work0 = costs.cpu_us[0] / denom;
+                let mut work1 = costs.cpu_us[1] / denom;
+                if costs.has_shuffle {
+                    let disk = e.disk.throughput_mb_s() * 1e6;
+                    work0 += costs.shuffle_bytes[0] / disk * 1e6;
+                    work1 += costs.shuffle_bytes[1] / disk * 1e6;
                 }
-                _ => 1.0,
-            };
-            let memo = &mut work_memo[idx];
-            let work =
-                if memo.valid && memo.cf_bits == cf.to_bits() && memo.slow_bits == slow.to_bits() {
-                    memo.work_us[bucket]
-                } else {
+                let (cf_end, cf_busy) = block_prefix(
+                    at,
+                    work0,
+                    work1,
+                    next as u32,
+                    rem,
+                    &noise_buf[next..next + quota],
+                );
+                let from = SimTime::from_micros(at);
+                let until = SimTime::from_micros(cf_end);
+                let quiet = noise.node_quiet(e.node, from, until)
+                    && match faults.as_ref() {
+                        Some(f) if query_slowdowns || query_failures => {
+                            f.state.block_quiet(e.node, from, until)
+                        }
+                        _ => true,
+                    };
+                if quiet {
+                    eligible_blocks += 1;
+                    if use_fast {
+                        fast_blocks += 1;
+                        stage_busy += cf_busy;
+                        stage_end = stage_end.max(cf_end);
+                        next += quota;
+                        continue;
+                    }
+                }
+            }
+            // Per-block memo of the deterministic work term, keyed by the
+            // two per-task multipliers that can change mid-block — the
+            // contention factor and the fault slowdown factor. On a quiet
+            // cluster every task after the block's first is a hit, and a
+            // miss replays the exact floating-point op sequence of the
+            // per-task code, so results are bit-identical.
+            let mut memo_key = (MEMO_INVALID, MEMO_INVALID);
+            let mut memo_work = [0.0f64; 2];
+            for j in next..next + quota {
+                let bucket = usize::from((j as u32) < rem);
+
+                // CPU speed and contention scale compute time; an active
+                // straggler window slows the node further. The contention
+                // query stays per-task (it advances the episode process).
+                let cf = noise.contention_factor(e.node, SimTime::from_micros(at));
+                let slow = match faults.as_ref() {
+                    Some(f) if query_slowdowns => {
+                        f.state.slowdown_factor(e.node, SimTime::from_micros(at))
+                    }
+                    _ => 1.0,
+                };
+                if memo_key != (cf.to_bits(), slow.to_bits()) {
                     let mut speed = e.speed * cf;
                     speed *= slow;
                     let denom = speed.max(0.05);
-                    let mut work_us = [costs.cpu_us[0] / denom, costs.cpu_us[1] / denom];
+                    memo_work = [costs.cpu_us[0] / denom, costs.cpu_us[1] / denom];
                     if costs.has_shuffle {
                         // Stages after the first read shuffle output from the
                         // previous stage; charge it against this node's disk.
                         let disk = e.disk.throughput_mb_s() * 1e6;
-                        work_us[0] += costs.shuffle_bytes[0] / disk * 1e6;
-                        work_us[1] += costs.shuffle_bytes[1] / disk * 1e6;
+                        memo_work[0] += costs.shuffle_bytes[0] / disk * 1e6;
+                        memo_work[1] += costs.shuffle_bytes[1] / disk * 1e6;
                     }
-                    *memo = WorkMemo {
-                        cf_bits: cf.to_bits(),
-                        slow_bits: slow.to_bits(),
-                        work_us,
-                        valid: true,
-                    };
-                    work_us[bucket]
-                };
-            // Per-task stochastic jitter (pre-drawn for the stage).
-            let work_us = work * noise_buf[task as usize];
-
-            // Round-half-up via truncate-and-compare — bit-identical to
-            // `work_us.round().max(1.0) as u64` for the nonnegative finite
-            // durations this loop produces, without `round()`'s multi-op
-            // branchless expansion on the per-task path.
-            let trunc = work_us as u64;
-            let mut dur = (trunc + u64::from(work_us - trunc as f64 >= 0.5)).max(1);
-            // Transient task failures: each attempt inside an active
-            // failure window fails independently; a failed attempt is
-            // re-run in place, up to the plan's retry bound, and the
-            // final attempt always succeeds (bounded-penalty model —
-            // real Spark would abort the job after maxFailures).
-            if query_failures {
-                if let Some(f) = faults.as_mut() {
-                    let p = f.state.task_failure_probability(SimTime::from_micros(at));
-                    if p > 0.0 {
-                        let bound = f.state.plan().max_task_retries;
-                        let mut attempts: u32 = 0;
-                        while attempts < bound && f.rng.bernoulli(p) {
-                            attempts += 1;
-                        }
-                        if attempts > 0 {
-                            let overhead = f.state.plan().retry_overhead.as_micros();
-                            dur = dur * (attempts as u64 + 1) + overhead * attempts as u64;
-                            task_retries += attempts;
+                    memo_key = (cf.to_bits(), slow.to_bits());
+                }
+                // Per-task stochastic jitter (pre-drawn for the stage).
+                let work_us = memo_work[bucket] * noise_buf[j];
+                let mut dur = round_duration_us(work_us);
+                // Transient task failures: each attempt inside an active
+                // failure window fails independently; a failed attempt is
+                // re-run in place, up to the plan's retry bound, and the
+                // final attempt always succeeds (bounded-penalty model —
+                // real Spark would abort the job after maxFailures).
+                if query_failures {
+                    if let Some(f) = faults.as_mut() {
+                        let p = f.state.task_failure_probability(SimTime::from_micros(at));
+                        if p > 0.0 {
+                            let bound = f.state.plan().max_task_retries;
+                            let mut attempts: u32 = 0;
+                            while attempts < bound && f.rng.bernoulli(p) {
+                                attempts += 1;
+                            }
+                            if attempts > 0 {
+                                let overhead = f.state.plan().retry_overhead.as_micros();
+                                dur = dur * (attempts as u64 + 1) + overhead * attempts as u64;
+                                task_retries += attempts;
+                            }
                         }
                     }
                 }
+                if need_durations {
+                    durations[j] = dur;
+                } else {
+                    stage_busy += dur;
+                }
+                at += dur;
             }
-            if need_durations {
-                durations.push(dur);
-            } else {
-                stage_busy += dur;
-            }
-            let done = at + dur;
-            stage_end = stage_end.max(done);
-            avail[idx] = done;
+            next += quota;
+            stage_end = stage_end.max(at);
         }
 
         // Speculation pass: cap stragglers at multiplier × median +
-        // relaunch overhead and re-run the schedule with the capped
-        // durations (the speculative copy on an idle executor wins).
+        // relaunch overhead and re-sum each executor's block from its slot
+        // open (the speculative copy on an idle executor wins). The
+        // assignment is static, so capping can only shrink the stage.
         if need_durations {
             let spec = speculation.expect("need_durations implies speculation");
             // Median via O(n) selection — no full sort, no fresh Vec.
-            median_buf.clear();
-            median_buf.extend_from_slice(durations);
+            median_buf.copy_from_slice(durations);
             let mid = median_buf.len() / 2;
             let (_, &mut median, _) = median_buf.select_nth_unstable(mid);
             let cap = (median as f64 * spec.multiplier + spec.relaunch_us) as u64;
@@ -351,14 +389,17 @@ pub fn simulate_job(
                 for d in durations.iter_mut() {
                     *d = (*d).min(cap);
                 }
-                avail.clear();
-                avail.extend(
-                    executors
-                        .iter()
-                        .enumerate()
-                        .map(|(idx, e)| slot_open(e, extra_init[idx])),
-                );
-                stage_end = list_schedule(avail, durations, stage_start);
+                stage_end = stage_start;
+                let mut next: usize = 0;
+                for idx in 0..m {
+                    let quota = quotas[idx] as usize;
+                    if quota == 0 {
+                        continue;
+                    }
+                    let block: u64 = durations[next..next + quota].iter().sum();
+                    stage_end = stage_end.max(opens[idx] + block);
+                    next += quota;
+                }
             }
             stage_busy = durations.iter().sum::<u64>();
         }
@@ -376,6 +417,22 @@ pub fn simulate_job(
             *x = 0;
         }
         t_us = stage_end;
+    }
+
+    if let Some(arm) = superbatch {
+        if armed {
+            arm.stats.armed_blocks += armed_blocks;
+            arm.stats.eligible_blocks += eligible_blocks;
+            arm.stats.fast_blocks += fast_blocks;
+            if eligible_blocks == armed_blocks {
+                arm.stats.eligible_batches += 1;
+                if arm.use_fast {
+                    arm.stats.fast_batches += 1;
+                }
+            } else {
+                arm.stats.quiescence_fallbacks += 1;
+            }
+        }
     }
 
     JobResult {
@@ -425,6 +482,7 @@ mod tests {
             None,
             &mut JobScratch::new(),
             None,
+            None,
             &Recorder::disabled(),
         );
         r.finished_at - start
@@ -455,6 +513,7 @@ mod tests {
             2,
             None,
             &mut JobScratch::new(),
+            None,
             None,
             &Recorder::disabled(),
         );
@@ -508,6 +567,7 @@ mod tests {
                 None,
                 &mut JobScratch::new(),
                 None,
+                None,
                 &Recorder::disabled(),
             )
             .finished_at
@@ -549,6 +609,7 @@ mod tests {
                 None,
                 &mut JobScratch::new(),
                 None,
+                None,
                 &Recorder::disabled(),
             )
             .finished_at
@@ -577,6 +638,7 @@ mod tests {
                 2,
                 None,
                 &mut JobScratch::new(),
+                None,
                 None,
                 &Recorder::disabled(),
             )
@@ -639,6 +701,7 @@ mod tests {
                 spec,
                 &mut JobScratch::new(),
                 None,
+                None,
                 &Recorder::disabled(),
             )
             .finished_at
@@ -670,6 +733,7 @@ mod tests {
                 spec,
                 &mut JobScratch::new(),
                 None,
+                None,
                 &Recorder::disabled(),
             )
             .finished_at
@@ -698,6 +762,7 @@ mod tests {
                     8,
                     spec,
                     &mut JobScratch::new(),
+                    None,
                     None,
                     &Recorder::disabled(),
                 )

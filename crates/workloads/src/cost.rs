@@ -69,11 +69,11 @@ impl CostModel {
             // 5–12 SGD passes per batch: the most dynamic workload.
             WorkloadKind::LogisticRegression => CostModel {
                 kind,
-                per_record_us: 36.0,
+                per_record_us: 33.0,
                 task_overhead_us: 15_000.0,
                 stage_overhead_us: 580_000.0,
                 batch_overhead_us: 300_000.0,
-                mgmt_per_executor_us: 80_000.0,
+                mgmt_per_executor_us: 65_000.0,
                 stages_fixed: 1,
                 iter_range: (5, 12),
                 noise_sigma: 0.20,

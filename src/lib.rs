@@ -7,6 +7,7 @@
 pub use nostop_baselines as baselines;
 pub use nostop_core as core;
 pub use nostop_datagen as datagen;
+pub use nostop_obs as obs;
 pub use nostop_simcore as simcore;
 pub use nostop_workloads as workloads;
 pub use spark_sim as sim;
