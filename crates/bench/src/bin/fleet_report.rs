@@ -1,0 +1,227 @@
+//! Fleet-scale benchmark + chaos grid — writes `BENCH_fleet.json`.
+//!
+//! Exercises the multi-tenant layer at its headline scale: 100-tenant
+//! fleets under every arbiter policy, plus a chaos grid that extends the
+//! single-job fault drills to *correlated* multi-tenant faults (every
+//! tenant in a cell loses executors at the same instant — a rack event —
+//! and must recover under whatever budget the arbiter leaves it).
+//!
+//! Everything printed to **stdout** (and written to the report file) is a
+//! pure function of `(specs, budget, policy)` — digests, ledger counts,
+//! arbiter stats — so CI can diff the output byte-for-byte across
+//! `NOSTOP_JOBS` values. Wall-clock timings go to **stderr** only.
+//!
+//! The binary is also its own acceptance test: before writing anything it
+//! replays the 100-tenant contended fleet at `NOSTOP_JOBS=1` and at the
+//! configured worker count and asserts the byte-level summaries (per-
+//! tenant RNG fingerprints, clocks, listener totals, the full arbiter
+//! ledger) are identical, and that every scenario's ledger conserves the
+//! budget under replay.
+
+use nostop_bench::parallel::jobs;
+use nostop_core::arbiter::ArbiterPolicy;
+use nostop_simcore::json::{self, Json};
+use nostop_simcore::{SimDuration, SimTime};
+use nostop_workloads::WorkloadKind;
+use spark_sim::fleet::{FleetSim, TenantSpec};
+use spark_sim::{check_ledger_conservation, FaultEvent, FaultPlan};
+use std::time::Instant;
+
+/// Headline fleet size (the replay contract is proven at this scale).
+const FLEET_TENANTS: u32 = 100;
+/// Controller rounds per tenant in the policy scenarios.
+const FLEET_EPOCHS: u64 = 4;
+/// Executor budget for the contended scenarios — far below the ~100×8
+/// aggregate demand, so every barrier is a real allocation problem.
+const FLEET_BUDGET: u32 = 600;
+/// Chaos-grid fleet size and budget (smaller cells, more of them).
+const CHAOS_TENANTS: u32 = 12;
+const CHAOS_BUDGET: u32 = 72;
+const CHAOS_EPOCHS: u64 = 8;
+/// The instant every tenant in a chaos cell loses executors together.
+const CHAOS_CRASH_SECS: f64 = 90.0;
+
+/// The three policies every scenario axis sweeps.
+const POLICIES: [ArbiterPolicy; 3] = [
+    ArbiterPolicy::FairShare,
+    ArbiterPolicy::StrictPriority,
+    ArbiterPolicy::PreemptWithGrace { grace_epochs: 2 },
+];
+
+/// Mixed-workload, mixed-priority tenant population.
+fn fleet_specs(n: u32, fleet_seed: u64) -> Vec<TenantSpec> {
+    (0..n)
+        .map(|i| {
+            let kind = WorkloadKind::ALL[(i % 4) as usize];
+            let mut spec = TenantSpec::paper(kind, fleet_seed, i);
+            spec.priority = 1 + (i % 5);
+            spec
+        })
+        .collect()
+}
+
+/// One deterministic scenario row: run the fleet, assert conservation,
+/// and report digests + arbiter accounting. Wall time goes to stderr.
+fn scenario_row(
+    name: &str,
+    specs: &[TenantSpec],
+    budget: Option<u32>,
+    policy: ArbiterPolicy,
+    epochs: u64,
+) -> Json {
+    let start = Instant::now();
+    let mut fleet = FleetSim::new(specs, budget, policy);
+    fleet.run_epochs(epochs);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    check_ledger_conservation(fleet.arbiter().ledger())
+        .unwrap_or_else(|e| panic!("{name}: ledger conservation violated: {e}"));
+    for (i, _) in specs.iter().enumerate() {
+        assert_eq!(
+            fleet.tenant_controller(i).rounds(),
+            epochs,
+            "{name}: tenant {i}'s controller stalled"
+        );
+    }
+    let satisfied = fleet.last_grants().iter().filter(|g| g.satisfied).count();
+    let stats = fleet.arbiter().stats();
+    eprintln!(
+        "scenario {name:<28} {:>3} tenants x{epochs} epochs  {wall_ms:>8.1} ms",
+        specs.len()
+    );
+    json::obj(vec![
+        ("scenario", json::str(name)),
+        ("tenants", json::uint(specs.len() as u64)),
+        ("epochs", json::uint(epochs)),
+        (
+            "budget",
+            budget.map(|b| json::uint(b as u64)).unwrap_or(Json::Null),
+        ),
+        ("policy", json::str(policy.name())),
+        ("digest", json::str(format!("{:016x}", fleet.digest()))),
+        ("in_use", json::uint(fleet.arbiter().in_use())),
+        ("satisfied_tenants", json::uint(satisfied as u64)),
+        (
+            "ledger_len",
+            json::uint(fleet.arbiter().ledger().len() as u64),
+        ),
+        ("grants", json::uint(stats.grants)),
+        ("denies", json::uint(stats.denies)),
+        ("queues", json::uint(stats.queues)),
+        ("releases", json::uint(stats.releases)),
+        ("preemptions", json::uint(stats.preemptions)),
+        ("revocations", json::uint(stats.revocations)),
+        ("coalesced_rounds", json::uint(stats.coalesced_rounds)),
+    ])
+}
+
+/// Attach the correlated rack fault to every tenant in a population.
+fn with_correlated_crash(
+    mut specs: Vec<TenantSpec>,
+    relaunch: Option<SimDuration>,
+) -> Vec<TenantSpec> {
+    for spec in specs.iter_mut() {
+        spec.params.faults = FaultPlan::new(vec![FaultEvent::ExecutorCrash {
+            at: SimTime::from_secs_f64(CHAOS_CRASH_SECS),
+            count: 2,
+            relaunch_after: relaunch,
+        }]);
+    }
+    specs
+}
+
+/// The in-binary acceptance gate: the 100-tenant contended fleet must
+/// replay byte-identically at `NOSTOP_JOBS=1` and the configured worker
+/// count. Panics (exit ≠ 0) on any divergence.
+fn assert_replay_at_scale(specs: &[TenantSpec]) -> u64 {
+    let run = |jobs: usize| {
+        let start = Instant::now();
+        let mut fleet = FleetSim::new(specs, Some(FLEET_BUDGET), ArbiterPolicy::FairShare);
+        fleet.set_jobs(jobs);
+        fleet.run_epochs(FLEET_EPOCHS);
+        let summary = fleet.summary_jsonl();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        eprintln!("replay check: jobs={jobs:<2} {wall_ms:>8.1} ms");
+        (summary, fleet.digest())
+    };
+    let (solo, digest) = run(1);
+    let pooled_jobs = jobs().max(2);
+    let (pooled, pooled_digest) = run(pooled_jobs);
+    assert_eq!(
+        solo, pooled,
+        "{FLEET_TENANTS}-tenant summary changed between NOSTOP_JOBS=1 and {pooled_jobs}"
+    );
+    assert_eq!(digest, pooled_digest);
+    digest
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fleet.json".to_string());
+
+    let specs = fleet_specs(FLEET_TENANTS, 2026);
+    let replay_digest = assert_replay_at_scale(&specs);
+
+    // --- Policy scenarios at headline scale ---
+    let mut scenario_rows = vec![scenario_row(
+        "unconstrained",
+        &specs,
+        None,
+        ArbiterPolicy::FairShare,
+        FLEET_EPOCHS,
+    )];
+    for policy in POLICIES {
+        scenario_rows.push(scenario_row(
+            &format!("contended_{}", policy.name()),
+            &specs,
+            Some(FLEET_BUDGET),
+            policy,
+            FLEET_EPOCHS,
+        ));
+    }
+
+    // --- Chaos grid: policies × correlated multi-tenant faults ---
+    let mut chaos_rows = Vec::new();
+    for policy in POLICIES {
+        for (fault_name, relaunch) in [
+            ("rack_crash_relaunch_30s", Some(SimDuration::from_secs(30))),
+            ("rack_crash_permanent", None),
+        ] {
+            let specs = with_correlated_crash(fleet_specs(CHAOS_TENANTS, 777), relaunch);
+            let mut row = scenario_row(
+                &format!("{}__{fault_name}", policy.name()),
+                &specs,
+                Some(CHAOS_BUDGET),
+                policy,
+                CHAOS_EPOCHS,
+            );
+            if let Json::Obj(fields) = &mut row {
+                fields.push(("fault".to_string(), json::str(fault_name)));
+                fields.push(("crash_at_s".to_string(), json::num(CHAOS_CRASH_SECS)));
+            }
+            chaos_rows.push(row);
+        }
+    }
+
+    let report = json::obj(vec![
+        ("schema", json::str("nostop-fleet/1")),
+        (
+            "replay",
+            json::obj(vec![
+                ("tenants", json::uint(FLEET_TENANTS as u64)),
+                ("epochs", json::uint(FLEET_EPOCHS)),
+                ("budget", json::uint(FLEET_BUDGET as u64)),
+                ("digest", json::str(format!("{replay_digest:016x}"))),
+                ("identical_across_jobs", Json::Bool(true)),
+            ]),
+        ),
+        ("scenarios", Json::Arr(scenario_rows)),
+        ("chaos_grid", Json::Arr(chaos_rows)),
+    ]);
+
+    let text = report.to_string_pretty();
+    std::fs::write(&path, format!("{text}\n")).expect("write BENCH_fleet.json");
+    println!("{text}");
+    eprintln!("wrote {path} (jobs={})", jobs());
+}

@@ -36,11 +36,13 @@ use nostop_bench::driver::{
 };
 use nostop_bench::parallel::{grid, jobs, map_cells_weighted};
 use nostop_bench::smoke::engine_baseline;
+use nostop_core::arbiter::ArbiterPolicy;
 use nostop_core::system::StreamingSystem;
 use nostop_datagen::rate::ConstantRate;
 use nostop_simcore::json::{self, Json};
 use nostop_simcore::SimDuration;
 use nostop_workloads::{CostModel, WorkloadKind};
+use spark_sim::fleet::{FleetSim, TenantSpec};
 use spark_sim::{EngineParams, SimSystem, StreamConfig, StreamingEngine};
 use std::time::Instant;
 
@@ -50,6 +52,13 @@ const FIG8_ROUNDS: u64 = 12;
 const BO_ITERATIONS: usize = 15;
 /// Throughput floor for `--smoke`: fail below 75% of the committed number.
 const SMOKE_FLOOR: f64 = 0.75;
+
+/// Fleet smoke cell: a contended multi-tenant fleet, single-threaded so
+/// the number tracks per-core work (the worker pool is the driver
+/// matrix's story, not this cell's).
+const FLEET_TENANTS: u32 = 32;
+const FLEET_EPOCHS: u64 = 6;
+const FLEET_BUDGET: u32 = 128;
 
 /// The committed engine matrix: `(workload, interval_s, executors)`.
 const MATRIX: [(WorkloadKind, f64, u32); 6] = [
@@ -166,6 +175,53 @@ fn best_engine_cell(
     best.expect("at least one repeat")
 }
 
+/// One fleet cell: run the contended 32-tenant fleet on one worker and
+/// return its deterministic digest (pins the work against DCE and lets
+/// repeats assert they simulated the same fleet).
+fn run_fleet_cell() -> u64 {
+    let specs: Vec<TenantSpec> = (0..FLEET_TENANTS)
+        .map(|i| {
+            let kind = WorkloadKind::ALL[(i % 4) as usize];
+            let mut spec = TenantSpec::paper(kind, 7, i);
+            spec.priority = 1 + (i % 5);
+            spec
+        })
+        .collect();
+    let mut fleet = FleetSim::new(&specs, Some(FLEET_BUDGET), ArbiterPolicy::FairShare);
+    fleet.set_jobs(1);
+    fleet.run_epochs(FLEET_EPOCHS);
+    fleet.digest()
+}
+
+/// Best-of-`repeats` fleet cell: `(digest, best_wall_ms)`.
+fn best_fleet_cell(repeats: usize) -> (u64, f64) {
+    let mut best: Option<(u64, f64)> = None;
+    for _ in 0..repeats {
+        let (digest, wall) = time_ms(run_fleet_cell);
+        if let Some((prev, _)) = best {
+            assert_eq!(prev, digest, "fleet cell digest changed between repeats");
+        }
+        if best.map(|(_, w)| wall < w).unwrap_or(true) {
+            best = Some((digest, wall));
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+/// Find the committed `fleet_epochs_per_s` for the fleet smoke row.
+fn fleet_baseline(committed: &Json) -> Result<f64, String> {
+    let fleet = committed
+        .get("fleet")
+        .ok_or_else(|| "no committed fleet section".to_string())?;
+    match fleet.field_f64("fleet_epochs_per_s") {
+        Ok(eps) if eps > 0.0 && eps.is_finite() => Ok(eps),
+        Ok(eps) => Err(format!(
+            "fleet_epochs_per_s = {eps} (must be a positive finite number)"
+        )),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
 /// CI smoke guard: re-time the engine matrix and compare against the
 /// committed report at `path`. Returns the process exit code.
 fn smoke(path: &str) -> i32 {
@@ -212,8 +268,30 @@ fn smoke(path: &str) -> i32 {
             regressed += 1;
         }
     }
+    // Fleet smoke row: same floor, same stale-vs-slow distinction as the
+    // engine cells — a missing fleet section is a stale report, not a
+    // regression, and still fails hard.
+    match fleet_baseline(&committed) {
+        Ok(base_eps) => {
+            let (_, wall) = best_fleet_cell(repeats);
+            let eps = FLEET_EPOCHS as f64 / (wall / 1e3);
+            let ratio = eps / base_eps;
+            let verdict = if ratio >= SMOKE_FLOOR { "ok" } else { "FAIL" };
+            println!(
+                "smoke {:<22} {FLEET_TENANTS:>3}t x{FLEET_EPOCHS:<4} {eps:>9.1} ep/s vs {base_eps:>9.1} committed  ({ratio:.2}x) {verdict}",
+                "fleet(contended)"
+            );
+            if ratio < SMOKE_FLOOR {
+                regressed += 1;
+            }
+        }
+        Err(e) => {
+            eprintln!("smoke: fleet cell: {e} — regenerate {path} with `perf_report`");
+            unusable += 1;
+        }
+    }
     if regressed > 0 {
-        eprintln!("smoke: {regressed} engine cell(s) regressed >25% vs {path}");
+        eprintln!("smoke: {regressed} cell(s) regressed >25% vs {path}");
     }
     if unusable > 0 {
         eprintln!(
@@ -224,7 +302,7 @@ fn smoke(path: &str) -> i32 {
     if regressed + unusable > 0 {
         1
     } else {
-        println!("smoke: engine matrix within 25% of committed throughput");
+        println!("smoke: engine matrix + fleet cell within 25% of committed throughput");
         0
     }
 }
@@ -319,6 +397,21 @@ fn main() {
         ]));
     }
 
+    // --- Layer 3: fleet cell, single-threaded, best-of-N ---
+    let (fleet_digest, fleet_wall) = best_fleet_cell(repeats);
+    let fleet_row = json::obj(vec![
+        ("tenants", json::uint(FLEET_TENANTS as u64)),
+        ("epochs", json::uint(FLEET_EPOCHS)),
+        ("budget", json::uint(FLEET_BUDGET as u64)),
+        ("policy", json::str(ArbiterPolicy::FairShare.name())),
+        ("wall_ms", json::num(fleet_wall)),
+        (
+            "fleet_epochs_per_s",
+            json::num(FLEET_EPOCHS as f64 / (fleet_wall / 1e3)),
+        ),
+        ("digest", json::str(format!("{fleet_digest:016x}"))),
+    ]);
+
     let report = json::obj(vec![
         ("schema", json::str("nostop-perf/1")),
         ("configured_jobs", json::uint(configured_jobs as u64)),
@@ -326,6 +419,7 @@ fn main() {
         ("engine_repeats", json::uint(repeats as u64)),
         ("engine_matrix", Json::Arr(engine_rows)),
         ("driver_grids", Json::Arr(driver_rows)),
+        ("fleet", fleet_row),
         (
             "peak_rss_kb",
             peak_rss_kb().map(json::uint).unwrap_or(Json::Null),

@@ -462,7 +462,14 @@ impl NoStop {
     /// `"controller"` track of `recorder`'s sink, so a single ring can
     /// interleave engine and controller history in causal order.
     pub fn set_recorder(&mut self, recorder: &Recorder) {
-        self.obs = recorder.with_track("controller");
+        self.set_recorder_track(recorder, "controller");
+    }
+
+    /// [`set_recorder`](Self::set_recorder) with an explicit track name —
+    /// fleet runs tag each tenant's controller as `"t{i}.ctrl"` so one
+    /// shared ring interleaves every tenant's controllers and engines.
+    pub fn set_recorder_track(&mut self, recorder: &Recorder, track: &'static str) {
+        self.obs = recorder.with_track(track);
     }
 
     /// Execute one controller round against `sys`.

@@ -70,6 +70,7 @@
 //! assert!(best[1] >= 1.0); // a sane executor count was chosen
 //! ```
 
+pub mod arbiter;
 pub mod controller;
 pub mod listener;
 pub mod objective;
@@ -79,6 +80,7 @@ pub mod space;
 pub mod system;
 pub mod trace;
 
+pub use arbiter::{ArbiterPolicy, LedgerEvent, LedgerEventKind, ResourceRequest};
 pub use controller::{NoStop, NoStopConfig};
 pub use objective::PenaltySchedule;
 pub use sa::{Fdsa, GainSchedule, Spsa, SpsaParams};

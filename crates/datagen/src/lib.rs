@@ -26,5 +26,5 @@ pub mod records;
 
 pub use broker::{Broker, BrokerConfig, PartitionId};
 pub use generator::StreamGenerator;
-pub use rate::RateProcess;
+pub use rate::{tenant_seed, RateProcess, RateSpec};
 pub use records::{Record, RecordGenerator, RecordKind};

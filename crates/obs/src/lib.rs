@@ -31,6 +31,28 @@ pub mod sink;
 pub use event::{check_events, check_jsonl, span_stats, Event, EventKind, SpanStat};
 use nostop_simcore::SimTime;
 
+/// Intern a runtime-built track name into a `&'static str`.
+///
+/// [`Recorder::with_track`] takes `&'static str` so the hot path never
+/// clones strings; fleet code needs per-tenant tracks like `"t17.engine"`
+/// whose names only exist at runtime. Interning leaks each distinct name
+/// once and returns the same `&'static str` for every later request, so
+/// a fleet of N tenants costs N small leaks for the whole process, not
+/// per-run allocations. Available in both obs builds (the `obs-off` ZST
+/// recorder still accepts a track argument).
+pub fn track_name(name: &str) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    static INTERNED: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let table = INTERNED.get_or_init(|| Mutex::new(Vec::new()));
+    let mut table = table.lock().expect("track intern table poisoned");
+    if let Some(existing) = table.iter().find(|s| **s == name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    table.push(leaked);
+    leaked
+}
+
 /// A point-in-time copy of everything a recorder holds.
 #[derive(Debug, Clone, Default)]
 pub struct TraceSnapshot {

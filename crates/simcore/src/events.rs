@@ -512,4 +512,65 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, "late");
         assert!(q.is_empty());
     }
+
+    /// Events pinned to both sides of the wheel-window boundary: the last
+    /// in-window microsecond stays on the wheel, the first out-of-window
+    /// microsecond goes to overflow, and rotation stitches them back into
+    /// one globally time-ordered stream with the expected rotation count.
+    #[test]
+    fn rotation_at_the_window_boundary_keeps_time_order() {
+        let shift = 3u32; // 8 µs buckets → 2048 µs window
+        let window = 256u64 << shift;
+        let mut q = EventQueue::with_tick_shift(shift);
+        for at in [window - 1, window, window + 1, 3 * window, 0, window / 2] {
+            q.schedule(SimTime::from_micros(at), at);
+        }
+        // Nothing rotates at schedule time.
+        assert_eq!(q.stats().rotations, 0);
+        let mut popped = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            assert_eq!(t.as_micros(), e, "event popped at the wrong instant");
+            popped.push(e);
+        }
+        assert_eq!(
+            popped,
+            vec![0, window / 2, window - 1, window, window + 1, 3 * window]
+        );
+        // One rotation into [window, 2·window) picking up two events, one
+        // into [3·window, 4·window) picking up the last.
+        assert_eq!(q.stats().rotations, 2);
+        assert_eq!(q.stats().overflow_migrations, 3);
+    }
+
+    /// FIFO tie-breaking survives the overflow → wheel migration: two
+    /// events at the same out-of-window instant keep schedule order.
+    #[test]
+    fn rotation_preserves_fifo_ties() {
+        let mut q = EventQueue::new();
+        let far = SimTime::from_micros((256u64 << DEFAULT_TICK_SHIFT) + 5);
+        q.schedule(far, "a");
+        q.schedule(far, "b");
+        q.schedule(SimTime::from_micros(1), "now");
+        assert_eq!(q.pop().unwrap().1, "now");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.is_empty());
+    }
+
+    /// `pop_until` at the boundary: a cutoff just before the overflow
+    /// head must not rotate (the wheel window stays put), while a cutoff
+    /// at the head's instant rotates and returns it.
+    #[test]
+    fn pop_until_rotates_only_when_the_cutoff_reaches_overflow() {
+        let shift = 3u32;
+        let window = 256u64 << shift;
+        let mut q = EventQueue::with_tick_shift(shift);
+        q.schedule(SimTime::from_micros(window + 8), "far");
+        assert_eq!(q.pop_until(SimTime::from_micros(window + 7)), None);
+        assert_eq!(q.stats().rotations, 0, "cutoff short of overflow rotated");
+        let (t, e) = q.pop_until(SimTime::from_micros(window + 8)).unwrap();
+        assert_eq!((t.as_micros(), e), (window + 8, "far"));
+        assert_eq!(q.stats().rotations, 1);
+        assert!(q.is_empty());
+    }
 }

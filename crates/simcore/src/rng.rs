@@ -672,4 +672,120 @@ mod tests {
         r.fill_bytes(&mut buf);
         assert!(buf.iter().any(|&b| b != 0));
     }
+
+    /// The guard edge at |x| = 500 and the extremes beyond it: both sides
+    /// of the branch agree with libm, the deferred range is bit-exact
+    /// (overflow to ∞, underflow through subnormals to zero), and inputs
+    /// that land on half-bucket rounding ties stay within tolerance.
+    #[test]
+    fn fast_exp_boundary_and_extreme_inputs() {
+        let inside = f64::from_bits(500.0f64.to_bits() - 1);
+        let outside = f64::from_bits(500.0f64.to_bits() + 1);
+        for x in [
+            500.0,
+            -500.0,
+            inside,
+            -inside,
+            f64::MIN_POSITIVE,
+            -f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal input
+            499.999_999,
+            -499.999_999,
+        ] {
+            let (fast, exact) = (fast_exp(x), x.exp());
+            let rel = ((fast - exact) / exact).abs();
+            assert!(rel < 1e-13, "fast_exp({x}) = {fast}, libm {exact}");
+        }
+        // Just past the guard and far beyond: the deferral must be
+        // bit-exact with libm, including overflow to +∞, graceful
+        // underflow into subnormals, and flush to zero.
+        for x in [
+            outside,
+            -outside,
+            700.0,
+            709.9,  // largest finite exp inputs
+            710.0,  // overflows to +inf
+            -709.0, // subnormal result
+            -745.1, // smallest subnormal results
+            -746.0, // underflows to zero
+            -1e308,
+            1e308,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            assert_eq!(
+                fast_exp(x).to_bits(),
+                x.exp().to_bits(),
+                "deferred fast_exp({x}) not bit-exact"
+            );
+        }
+        // Rounding ties of the bucket decomposition: x = (2k+1)·ln2/64
+        // puts x·32/ln2 exactly between integers, the worst case for the
+        // magic-constant round-to-nearest.
+        for k in -80i64..80 {
+            let x = (2 * k + 1) as f64 * std::f64::consts::LN_2 / 64.0;
+            let (fast, exact) = (fast_exp(x), x.exp());
+            let rel = ((fast - exact) / exact).abs();
+            assert!(rel < 1e-13, "tie fast_exp({x}) = {fast}, libm {exact}");
+        }
+    }
+
+    /// Burst-length edge cases: a zero-length burst is a no-op (stream
+    /// position included), a one-draw burst equals the per-draw call, and
+    /// a capacity-crossing burst still matches per-draw exactly.
+    #[test]
+    fn fill_lognormal_burst_length_edges() {
+        // count = 0: contents, length, and RNG stream all untouched.
+        let mut r = SimRng::seed_from_u64(5);
+        let before = r.state();
+        let mut out = vec![1.0, 2.0];
+        r.fill_lognormal(0.1, 0.3, 0, &mut out);
+        assert_eq!(out, vec![1.0, 2.0]);
+        assert_eq!(r.state(), before);
+
+        // count = 1: appends exactly one per-draw value after the prefix
+        // and leaves the stream where the per-draw call would.
+        let mut single = SimRng::seed_from_u64(5);
+        let expect = single.lognormal(0.1, 0.3);
+        r.fill_lognormal(0.1, 0.3, 1, &mut out);
+        assert_eq!(out, vec![1.0, 2.0, expect]);
+        assert_eq!(r.state(), single.state());
+
+        // A burst that outgrows a deliberately tiny capacity (multiple
+        // reallocations mid-burst) matches per-draw element for element.
+        let mut burst_rng = SimRng::seed_from_u64(6);
+        let mut burst = Vec::with_capacity(1);
+        burst_rng.fill_lognormal(-0.02, 0.2, 4096, &mut burst);
+        let mut per = SimRng::seed_from_u64(6);
+        let singles: Vec<f64> = (0..4096).map(|_| per.lognormal(-0.02, 0.2)).collect();
+        assert_eq!(burst, singles);
+        assert_eq!(burst_rng.state(), per.state());
+    }
+
+    /// Slice-shaped edge cases: an empty slice draws nothing, and a zero
+    /// (or negative, clamped) sigma still consumes one normal per slot —
+    /// stream parity with the noisy path — while landing exactly on
+    /// `exp(mu)`.
+    #[test]
+    fn fill_lognormal_into_empty_and_degenerate_sigma() {
+        let mut r = SimRng::seed_from_u64(7);
+        let before = r.state();
+        let mut empty: [f64; 0] = [];
+        r.fill_lognormal_into(0.0, 1.0, &mut empty);
+        assert_eq!(r.state(), before);
+
+        let mut out = [0.0; 8];
+        r.fill_lognormal_into(0.25, 0.0, &mut out);
+        for v in out {
+            assert_eq!(v, fast_exp(0.25));
+        }
+        // Negative sigma clamps to zero: same values, same consumption.
+        let mut neg = SimRng::seed_from_u64(7);
+        let mut skip: [f64; 0] = [];
+        neg.fill_lognormal_into(0.0, 1.0, &mut skip);
+        let mut out_neg = [0.0; 8];
+        neg.fill_lognormal_into(0.25, -3.0, &mut out_neg);
+        assert_eq!(out, out_neg);
+        assert_eq!(r.state(), neg.state());
+    }
 }

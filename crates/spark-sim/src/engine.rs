@@ -137,6 +137,12 @@ pub struct StreamingEngine {
     current_interval: SimDuration,
     /// Executor target as last applied.
     target_executors: u32,
+    /// Fleet-imposed ceiling on the executor target (`u32::MAX` = solo
+    /// engine, no arbiter). `apply_config` records the controller's true
+    /// want in `target_executors` but hands the executor manager
+    /// `want.min(external_cap)`; `min(x, u32::MAX)` is the identity, so an
+    /// uncapped engine is bit-identical to a build without this field.
+    external_cap: u32,
     executors: ExecutorManager,
     broker: Broker,
     generator: StreamGenerator,
@@ -209,6 +215,7 @@ impl StreamingEngine {
             clock: SimTime::ZERO,
             current_interval: initial.batch_interval,
             target_executors: initial.num_executors,
+            external_cap: u32::MAX,
             executors,
             broker,
             generator: StreamGenerator::new(rate),
@@ -236,7 +243,15 @@ impl StreamingEngine {
     /// track. Recording changes no simulation outcome — the recorder draws
     /// no RNG and every timestamp is the DES clock.
     pub fn set_recorder(&mut self, recorder: &Recorder) {
-        self.obs = recorder.with_track("engine");
+        self.set_recorder_track(recorder, "engine");
+    }
+
+    /// [`set_recorder`](Self::set_recorder) with an explicit track name —
+    /// the fleet layer tags each tenant's engine as `"t{i}.engine"` (see
+    /// [`nostop_obs::track_name`]) so one shared ring interleaves every
+    /// tenant in causal order.
+    pub fn set_recorder_track(&mut self, recorder: &Recorder, track: &'static str) {
+        self.obs = recorder.with_track(track);
     }
 
     /// Current virtual time.
@@ -291,7 +306,62 @@ impl StreamingEngine {
             self.next_cut = candidate;
         }
         self.target_executors = cfg.num_executors;
-        self.executors.set_target(cfg.num_executors, self.clock);
+        self.executors
+            .set_target(cfg.num_executors.min(self.external_cap), self.clock);
+    }
+
+    /// Impose (or lift, with `u32::MAX`) a fleet executor ceiling. The
+    /// controller's wanted target is remembered unclamped, so raising the
+    /// cap later restores it without a reconfiguration. A no-change call is
+    /// a strict no-op — no retargeting, no trace events — which keeps an
+    /// uncapped tenant bit-identical to a bare engine.
+    pub fn set_executor_cap(&mut self, cap: u32) {
+        if cap == self.external_cap {
+            return;
+        }
+        self.external_cap = cap;
+        if self.obs.is_enabled() {
+            self.obs.instant(
+                self.clock,
+                "fleet.cap",
+                &[
+                    ("cap", cap.min(1 << 24) as f64),
+                    ("want", self.target_executors as f64),
+                ],
+            );
+        }
+        self.executors
+            .set_target(self.target_executors.min(cap), self.clock);
+    }
+
+    /// The fleet cap currently in force (`u32::MAX` when uncapped).
+    pub fn executor_cap(&self) -> u32 {
+        self.external_cap
+    }
+
+    /// The controller's last requested executor target, before the fleet
+    /// cap — the demand signal the arbiter allocates against.
+    pub fn desired_executors(&self) -> u32 {
+        self.target_executors
+    }
+
+    /// Set the fleet contention pressure fed into task execution speed
+    /// (1.0 = unconstrained; see [`NoiseModel::set_external_pressure`]).
+    /// A no-change call is a strict no-op, so an unpressured tenant stays
+    /// bit-identical to a bare engine.
+    pub fn set_fleet_pressure(&mut self, pressure: f64) {
+        let before = self.noise.external_pressure();
+        self.noise.set_external_pressure(pressure);
+        let after = self.noise.external_pressure();
+        if after != before && self.obs.is_enabled() {
+            self.obs
+                .instant(self.clock, "fleet.pressure", &[("pressure", after)]);
+        }
+    }
+
+    /// The fleet contention pressure currently in force.
+    pub fn fleet_pressure(&self) -> f64 {
+        self.noise.external_pressure()
     }
 
     /// Set or clear the back-pressure ingestion limit (records/second) —
@@ -461,7 +531,8 @@ impl StreamingEngine {
                         &[("target", self.target_executors as f64)],
                     );
                 }
-                self.executors.set_target(self.target_executors, self.clock);
+                self.executors
+                    .set_target(self.target_executors.min(self.external_cap), self.clock);
             }
         }
     }

@@ -1,0 +1,488 @@
+//! Fleet-scale multi-tenant simulation.
+//!
+//! One shared cluster, N independent streaming jobs ("tenants"), each
+//! with its own [`StreamingEngine`], workload, rate process, fault plan,
+//! and NoStop controller — all competing for a fleet-wide executor budget
+//! owned by the [`ExecutorArbiter`]. This is the deployment the paper's
+//! single-job evaluation abstracts away: real clusters run many streaming
+//! applications at once, and a controller that optimizes its own job in
+//! isolation meets its neighbors through the resource manager.
+//!
+//! ## Epoch barriers
+//!
+//! The fleet advances in *epochs*. Each epoch has two phases:
+//!
+//! * **Phase A (tenant-parallel).** Every tenant runs exactly one
+//!   controller round ([`NoStop::run_round`]) against its own engine.
+//!   Tenants share no mutable state — separate engines, separate RNG
+//!   forks, separate trace rings — so phase A is embarrassingly parallel
+//!   and its results are independent of worker count and execution order.
+//! * **Phase B (serial barrier).** The fleet collects every tenant's
+//!   executor demand (the controller's unclamped want, via
+//!   [`StreamingEngine::desired_executors`]) into an id-ordered
+//!   [`ResourceRequest`] vector and runs one arbiter pass. The resulting
+//!   grants become per-engine executor caps, and the fleet-wide
+//!   oversubscription pressure feeds each tenant's noise model (the
+//!   noisy-neighbor slowdown).
+//!
+//! Phase B is serial and id-ordered, so the whole fleet is a pure
+//! function of `(tenant specs, budget, policy)` — the determinism battery
+//! replays it bit-for-bit at any `NOSTOP_JOBS` worker count and under any
+//! phase-A execution order.
+//!
+//! ## Degenerate case
+//!
+//! A 1-tenant fleet with an unlimited budget grants `want` every barrier,
+//! so the cap stays `u32::MAX` (the identity) and the pressure stays
+//! exactly `1.0` (a bitwise no-op in the task-speed product) — the fleet
+//! run is bit-identical to driving the bare engine directly, which is the
+//! headline differential test (`tests/fleet_differential.rs`).
+
+use crate::adapter::SimSystem;
+use crate::arbiter::{ExecutorArbiter, TenantGrant};
+use crate::config::StreamConfig;
+use crate::engine::{EngineParams, StreamingEngine};
+use nostop_core::arbiter::{ArbiterPolicy, ResourceRequest};
+use nostop_core::controller::{NoStop, NoStopConfig};
+use nostop_datagen::rate::{tenant_seed, RateSpec};
+use nostop_obs::{track_name, Recorder};
+use nostop_simcore::{json, SimRng, SimTime};
+use nostop_workloads::WorkloadKind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The RNG stream (off the engine's master seed) that builds the
+/// tenant's rate process. Streams 1–3 are the engine's own forks
+/// (noise, job, fault); the fleet uses 4 for the rate process and 5 for
+/// the controller seed. A bare-engine run that forks the same streams
+/// reproduces a fleet tenant exactly.
+pub const RATE_STREAM: u64 = 4;
+/// The RNG stream that derives the controller's seed. See [`RATE_STREAM`].
+pub const CONTROLLER_STREAM: u64 = 5;
+
+/// Everything needed to build one fleet tenant. Plain data — the fleet
+/// (or a differential test) instantiates engines and controllers from it
+/// deterministically.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Engine parameters: cluster, workload, noise, fault plan, and the
+    /// tenant's master seed.
+    pub params: EngineParams,
+    /// Starting configuration.
+    pub initial: StreamConfig,
+    /// Arrival-rate process, built from [`RATE_STREAM`] of the master
+    /// seed.
+    pub rate: RateSpec,
+    /// Controller configuration.
+    pub controller: NoStopConfig,
+    /// Arbiter scheduling priority (larger = more important).
+    pub priority: u32,
+}
+
+impl TenantSpec {
+    /// A paper-default tenant: Table-2 cluster, paper controller
+    /// defaults, the paper's uniform-random rate, seed derived from
+    /// `(fleet_seed, tenant)` via [`tenant_seed`] so fleets of any size
+    /// share no RNG streams.
+    pub fn paper(workload: WorkloadKind, fleet_seed: u64, tenant: u32) -> Self {
+        TenantSpec {
+            params: EngineParams::paper(workload, tenant_seed(fleet_seed, tenant)),
+            initial: StreamConfig::paper_initial(),
+            rate: RateSpec::UniformRandom {
+                min_rate: 2_000.0,
+                max_rate: 10_000.0,
+                hold_secs: 60.0,
+            },
+            controller: NoStopConfig::paper_default(),
+            priority: 1,
+        }
+    }
+
+    /// Build this tenant's engine (rate process from [`RATE_STREAM`]).
+    pub fn build_engine(&self) -> StreamingEngine {
+        let rate = self
+            .rate
+            .build(SimRng::seed_from_u64(self.params.seed).fork(RATE_STREAM));
+        StreamingEngine::new(self.params.clone(), self.initial, rate)
+    }
+
+    /// Build this tenant's controller (seed from [`CONTROLLER_STREAM`]).
+    pub fn build_controller(&self) -> NoStop {
+        let seed = SimRng::seed_from_u64(self.params.seed)
+            .fork(CONTROLLER_STREAM)
+            .next_u64();
+        NoStop::new(self.controller.clone(), seed)
+    }
+}
+
+/// One tenant at runtime.
+struct Tenant {
+    id: u32,
+    sys: SimSystem,
+    ctrl: NoStop,
+    priority: u32,
+    /// Root of this tenant's private trace ring (disabled unless
+    /// [`FleetSim::enable_recorders`] ran). Tracks `t{id}.engine` and
+    /// `t{id}.ctrl` hang off it.
+    recorder: Recorder,
+}
+
+/// The fleet: N tenants stepped in epoch barriers against a shared
+/// executor budget. See the module docs.
+pub struct FleetSim {
+    tenants: Vec<Tenant>,
+    arbiter: ExecutorArbiter,
+    epoch: u64,
+    /// Phase-A execution order (a permutation of tenant indices). A test
+    /// hook: results must not depend on it.
+    step_order: Vec<usize>,
+    /// Phase-A worker threads.
+    jobs: usize,
+    /// Last barrier's grants, for inspection.
+    last_grants: Vec<TenantGrant>,
+}
+
+impl FleetSim {
+    /// Default simultaneous-reconfiguration threshold for storm
+    /// coalescing (K).
+    pub const DEFAULT_COALESCE_K: usize = 3;
+
+    /// Build a fleet over `specs` with `budget` executors fleet-wide
+    /// (`None` = unlimited) under `policy`. Worker count comes from
+    /// `NOSTOP_JOBS` (default 1); it affects wall-clock only, never
+    /// results.
+    pub fn new(specs: &[TenantSpec], budget: Option<u32>, policy: ArbiterPolicy) -> Self {
+        let tenants: Vec<Tenant> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| Tenant {
+                id: i as u32,
+                sys: SimSystem::new(spec.build_engine()),
+                ctrl: spec.build_controller(),
+                priority: spec.priority,
+                recorder: Recorder::disabled(),
+            })
+            .collect();
+        let jobs = std::env::var("NOSTOP_JOBS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&j| j >= 1)
+            .unwrap_or(1);
+        FleetSim {
+            step_order: (0..tenants.len()).collect(),
+            tenants,
+            arbiter: ExecutorArbiter::new(budget, policy, Self::DEFAULT_COALESCE_K),
+            epoch: 0,
+            jobs,
+            last_grants: Vec::new(),
+        }
+    }
+
+    /// Attach a private trace ring of `capacity` events to every tenant
+    /// (tracks `t{i}.engine` / `t{i}.ctrl`) and one to the arbiter
+    /// (track `arbiter`). Per-tenant rings keep phase-A parallelism
+    /// race-free *and* byte-deterministic: no cross-tenant interleaving
+    /// exists to depend on worker scheduling.
+    pub fn enable_recorders(&mut self, capacity: usize) {
+        for t in self.tenants.iter_mut() {
+            let root = Recorder::ring(capacity);
+            let engine_track = track_name(&format!("t{}.engine", t.id));
+            let ctrl_track = track_name(&format!("t{}.ctrl", t.id));
+            t.sys.engine_mut().set_recorder_track(&root, engine_track);
+            t.ctrl.set_recorder_track(&root, ctrl_track);
+            t.recorder = root;
+        }
+        let arb_root = Recorder::ring(capacity);
+        self.arbiter.set_recorder(&arb_root);
+    }
+
+    /// Override the phase-A worker count (tests; wall-clock only).
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = jobs.max(1);
+    }
+
+    /// Override the phase-A execution order — must be a permutation of
+    /// `0..tenants()`. A determinism test hook: results must be
+    /// identical under any order.
+    pub fn set_step_order(&mut self, order: Vec<usize>) {
+        assert_eq!(
+            order.len(),
+            self.tenants.len(),
+            "order must cover all tenants"
+        );
+        let mut seen = vec![false; order.len()];
+        for &i in &order {
+            assert!(i < seen.len() && !seen[i], "order must be a permutation");
+            seen[i] = true;
+        }
+        self.step_order = order;
+    }
+
+    /// Storm-coalescing threshold K (see [`ExecutorArbiter`]).
+    pub fn set_coalesce_threshold(&mut self, k: usize) {
+        self.arbiter.set_coalesce_threshold(k);
+    }
+
+    /// Number of tenants.
+    pub fn tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Barriers completed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The arbiter (ledger, stats, allocations).
+    pub fn arbiter(&self) -> &ExecutorArbiter {
+        &self.arbiter
+    }
+
+    /// Tenant `i`'s system (engine + adapter).
+    pub fn tenant_system(&self, i: usize) -> &SimSystem {
+        &self.tenants[i].sys
+    }
+
+    /// Tenant `i`'s controller.
+    pub fn tenant_controller(&self, i: usize) -> &NoStop {
+        &self.tenants[i].ctrl
+    }
+
+    /// Tenant `i`'s trace as JSONL (empty unless recorders are enabled).
+    pub fn tenant_trace_jsonl(&self, i: usize) -> String {
+        self.tenants[i].recorder.snapshot().to_jsonl()
+    }
+
+    /// The grants issued at the most recent barrier.
+    pub fn last_grants(&self) -> &[TenantGrant] {
+        &self.last_grants
+    }
+
+    /// Run `n` epochs (one controller round + one arbiter barrier each).
+    pub fn run_epochs(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step_epoch();
+        }
+    }
+
+    /// One epoch: phase A (tenant-parallel controller rounds), then
+    /// phase B (the serial arbiter barrier).
+    pub fn step_epoch(&mut self) {
+        self.phase_a();
+        self.phase_b();
+        self.epoch += 1;
+    }
+
+    /// Phase A: every tenant runs exactly one controller round. Workers
+    /// claim tenants off a shared cursor in `step_order`; each tenant is
+    /// touched by exactly one worker, and tenants share no mutable
+    /// state, so the outcome is independent of `jobs` and of the order.
+    fn phase_a(&mut self) {
+        let jobs = self.jobs.min(self.step_order.len()).max(1);
+        if jobs == 1 {
+            for &i in &self.step_order {
+                let t = &mut self.tenants[i];
+                t.ctrl.run_round(&mut t.sys);
+            }
+            return;
+        }
+        let order = &self.step_order;
+        let slots: Vec<Mutex<&mut Tenant>> = self.tenants.iter_mut().map(Mutex::new).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= order.len() {
+                        break;
+                    }
+                    let mut guard = slots[order[k]].lock().expect("tenant slot poisoned");
+                    let t: &mut Tenant = &mut guard;
+                    t.ctrl.run_round(&mut t.sys);
+                });
+            }
+        });
+    }
+
+    /// Phase B: collect demand in id order, arbitrate, apply caps and
+    /// pressure. The arbiter's trace timestamps use the fleet frontier
+    /// (the furthest tenant clock), which is monotone across barriers.
+    fn phase_b(&mut self) {
+        let requests: Vec<ResourceRequest> = self
+            .tenants
+            .iter()
+            .map(|t| ResourceRequest {
+                tenant: t.id,
+                priority: t.priority,
+                want: t.sys.engine().desired_executors(),
+            })
+            .collect();
+        let frontier = self
+            .tenants
+            .iter()
+            .map(|t| t.sys.engine().now())
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let grants = self.arbiter.arbitrate(self.epoch, frontier, &requests);
+        for (t, g) in self.tenants.iter_mut().zip(&grants) {
+            // A grant covering the full want means the arbiter imposes
+            // nothing: the cap goes to u32::MAX (the identity), so an
+            // unconstrained fleet is bit-identical to solo engines. A
+            // short grant caps the engine at exactly the allocation
+            // (the executor manager floors at 1 — a zero grant parks
+            // the tenant on its minimum footprint).
+            let cap = if g.granted >= requests[t.id as usize].want {
+                u32::MAX
+            } else {
+                g.granted
+            };
+            t.sys.engine_mut().set_executor_cap(cap);
+            t.sys.engine_mut().set_fleet_pressure(g.pressure);
+        }
+        self.last_grants = grants;
+    }
+
+    /// A deterministic JSONL fleet summary: one line per tenant (clock,
+    /// RNG fingerprint, executors, listener totals, controller
+    /// progress) followed by one line per arbiter-ledger entry. Two runs
+    /// of the same fleet are byte-identical here regardless of
+    /// `NOSTOP_JOBS` or step order — the replay battery's object.
+    pub fn summary_jsonl(&self) -> String {
+        let mut out = String::new();
+        for t in &self.tenants {
+            let e = t.sys.engine();
+            let fp = e.rng_fingerprint();
+            let line = json::obj(vec![
+                ("tenant", json::uint(t.id as u64)),
+                ("epoch", json::uint(self.epoch)),
+                ("nowUs", json::uint(e.now().as_micros())),
+                (
+                    "rng",
+                    json::Json::Arr(fp.iter().map(|&w| json::uint(w)).collect()),
+                ),
+                ("executors", json::uint(e.executor_count() as u64)),
+                ("want", json::uint(e.desired_executors() as u64)),
+                ("cap", json::uint(e.executor_cap() as u64)),
+                ("produced", json::uint(e.total_produced())),
+                ("dropped", json::uint(e.dropped_records())),
+                ("queued", json::uint(e.queue_len() as u64)),
+                ("rounds", json::uint(t.ctrl.rounds())),
+            ]);
+            out.push_str(&line.to_string());
+            out.push('\n');
+        }
+        for ev in self.arbiter.ledger() {
+            out.push_str(&ev.to_json_value().to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// FNV-1a digest of [`FleetSim::summary_jsonl`] — a compact replay
+    /// fingerprint for reports and CI diffs.
+    pub fn digest(&self) -> u64 {
+        fnv1a(self.summary_jsonl().as_bytes())
+    }
+}
+
+/// FNV-1a, 64-bit — tiny, dependency-free, stable across platforms.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_specs(n: u32) -> Vec<TenantSpec> {
+        (0..n)
+            .map(|i| {
+                let mut spec = TenantSpec::paper(WorkloadKind::WordCount, 2026, i);
+                spec.priority = 1 + (i % 3);
+                spec
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fleet_is_a_pure_function_of_specs_and_policy() {
+        let run = |jobs: usize| {
+            let specs = small_specs(4);
+            let mut fleet = FleetSim::new(&specs, Some(24), ArbiterPolicy::FairShare);
+            fleet.set_jobs(jobs);
+            fleet.run_epochs(6);
+            fleet.summary_jsonl()
+        };
+        let solo = run(1);
+        assert_eq!(solo, run(4), "worker count changed results");
+        assert!(!solo.is_empty());
+    }
+
+    #[test]
+    fn step_order_does_not_change_results() {
+        let specs = small_specs(5);
+        let mut a = FleetSim::new(&specs, Some(20), ArbiterPolicy::StrictPriority);
+        a.run_epochs(5);
+        let mut b = FleetSim::new(&specs, Some(20), ArbiterPolicy::StrictPriority);
+        b.set_step_order(vec![4, 2, 0, 3, 1]);
+        b.set_jobs(3);
+        b.run_epochs(5);
+        assert_eq!(a.summary_jsonl(), b.summary_jsonl());
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn constrained_fleet_caps_and_pressures_tenants() {
+        let specs = small_specs(3);
+        let mut fleet = FleetSim::new(&specs, Some(6), ArbiterPolicy::FairShare);
+        fleet.run_epochs(4);
+        // Budget 6 over three tenants wanting ~10 each: everyone is
+        // capped and the fleet is oversubscribed.
+        let grants = fleet.last_grants();
+        assert!(grants.iter().any(|g| !g.satisfied));
+        for (i, g) in grants.iter().enumerate() {
+            if !g.satisfied {
+                let e = fleet.tenant_system(i).engine();
+                assert!(e.executor_cap() < u32::MAX);
+                assert!(e.fleet_pressure() < 1.0);
+            }
+        }
+        // Conservation held at every ledger entry.
+        crate::arbiter::check_ledger_conservation(fleet.arbiter().ledger()).unwrap();
+    }
+
+    #[test]
+    fn unlimited_budget_leaves_tenants_uncapped() {
+        let specs = small_specs(2);
+        let mut fleet = FleetSim::new(&specs, None, ArbiterPolicy::FairShare);
+        fleet.run_epochs(4);
+        for i in 0..2 {
+            let e = fleet.tenant_system(i).engine();
+            assert_eq!(e.executor_cap(), u32::MAX);
+            assert_eq!(e.fleet_pressure(), 1.0);
+        }
+        assert!(fleet.last_grants().iter().all(|g| g.satisfied));
+    }
+
+    #[test]
+    fn recorders_stay_per_tenant() {
+        let specs = small_specs(2);
+        let mut fleet = FleetSim::new(&specs, Some(12), ArbiterPolicy::FairShare);
+        fleet.enable_recorders(8_192);
+        fleet.run_epochs(3);
+        let t0 = fleet.tenant_trace_jsonl(0);
+        let t1 = fleet.tenant_trace_jsonl(1);
+        if cfg!(feature = "obs-off") {
+            assert!(t0.is_empty() && t1.is_empty());
+        } else {
+            assert!(t0.contains("\"t0.engine\""));
+            assert!(!t0.contains("\"t1.engine\""), "tenant rings must not mix");
+            assert!(t1.contains("\"t1.engine\""));
+        }
+    }
+}

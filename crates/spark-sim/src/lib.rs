@@ -39,18 +39,27 @@
 //!   limiting hooks;
 //! * [`adapter`] — [`adapter::SimSystem`] implements
 //!   [`nostop_core::system::StreamingSystem`], making the simulator tunable
-//!   by the NoStop controller exactly as a REST-driven deployment would be.
+//!   by the NoStop controller exactly as a REST-driven deployment would be;
+//! * [`arbiter`] — the fleet executor arbiter: grants/denies/queues tenant
+//!   reconfiguration demand against a fleet-wide executor budget under
+//!   pluggable policies (fair-share, strict priority, preempt-with-grace),
+//!   emitting an auditable allocation ledger;
+//! * [`fleet`] — [`fleet::FleetSim`]: N independent engine+controller
+//!   tenants stepped in epoch barriers against the shared budget, a pure
+//!   function of `(specs, budget, policy)` at any `NOSTOP_JOBS`.
 //!
 //! Everything is seeded: the same `(cluster, workload, rate process, seed)`
 //! quadruple replays bit-for-bit.
 
 pub mod adapter;
+pub mod arbiter;
 pub mod batch;
 pub mod cluster;
 pub mod config;
 pub mod engine;
 pub mod executor;
 pub mod fault;
+pub mod fleet;
 pub mod metrics;
 pub mod noise;
 pub mod scheduler;
@@ -58,10 +67,12 @@ pub mod superbatch;
 pub mod threaded;
 
 pub use adapter::SimSystem;
+pub use arbiter::{check_ledger_conservation, ArbiterStats, ExecutorArbiter, TenantGrant};
 pub use cluster::{Cluster, DiskClass, NodeSpec};
 pub use config::StreamConfig;
 pub use engine::{EngineParams, StreamingEngine};
 pub use fault::{FaultEvent, FaultPlan};
+pub use fleet::{FleetSim, TenantSpec};
 pub use metrics::{BatchMetrics, Listener};
 pub use noise::NoiseParams;
 pub use scheduler::{JobResult, JobScratch, Speculation};

@@ -65,6 +65,13 @@ pub struct NoiseModel {
     params: NoiseParams,
     nodes: Vec<NodeContention>,
     rng: SimRng,
+    /// Fleet-wide contention pressure: a multiplicative speed factor the
+    /// arbiter applies when aggregate tenant demand exceeds the executor
+    /// budget (1.0 = unconstrained). Runtime state, not a `NoiseParams`
+    /// knob — it changes between batches as the fleet breathes, and at
+    /// exactly 1.0 it is a bitwise no-op on every task duration, which is
+    /// what keeps a solo tenant bit-identical to the bare engine.
+    pressure: f64,
 }
 
 impl NoiseModel {
@@ -74,6 +81,7 @@ impl NoiseModel {
             params,
             nodes: Vec::with_capacity(node_count),
             rng,
+            pressure: 1.0,
         };
         for _ in 0..node_count {
             let onset = if params.enabled {
@@ -215,6 +223,23 @@ impl NoiseModel {
     /// The noise RNG's state words (for determinism fingerprints).
     pub fn rng_state(&self) -> [u64; 4] {
         self.rng.state()
+    }
+
+    /// Set the fleet contention pressure (clamped to `(0, 1]`; 1.0 means
+    /// unconstrained). Draws no RNG and touches no episode state: pressure
+    /// is a pure multiplicative speed factor on task execution.
+    pub fn set_external_pressure(&mut self, pressure: f64) {
+        self.pressure = if pressure.is_finite() {
+            pressure.clamp(0.05, 1.0)
+        } else {
+            1.0
+        };
+    }
+
+    /// The current fleet contention pressure (1.0 when unconstrained).
+    #[inline]
+    pub fn external_pressure(&self) -> f64 {
+        self.pressure
     }
 }
 

@@ -179,6 +179,10 @@ pub fn simulate_job(
     // get the same veto).
     let armed = superbatch.is_some() && !need_durations;
     let use_fast = superbatch.as_ref().is_some_and(|a| a.use_fast);
+    // Fleet contention pressure: a job-constant speed multiplier from the
+    // arbiter (1.0 when unconstrained — and `x * 1.0` is bitwise exact, so
+    // an unpressured run is bit-identical to a build without this factor).
+    let pressure = noise.external_pressure();
     let mut armed_blocks: u64 = 0;
     let mut eligible_blocks: u64 = 0;
     let mut fast_blocks: u64 = 0;
@@ -267,7 +271,7 @@ pub fn simulate_job(
                 // dirty block — and only that block — falls through to the
                 // per-task loop, which advances the episode process and
                 // draws exactly as an unarmed run would.
-                let denom = e.speed.max(0.05);
+                let denom = (e.speed * pressure).max(0.05);
                 let mut work0 = costs.cpu_us[0] / denom;
                 let mut work1 = costs.cpu_us[1] / denom;
                 if costs.has_shuffle {
@@ -327,6 +331,7 @@ pub fn simulate_job(
                 if memo_key != (cf.to_bits(), slow.to_bits()) {
                     let mut speed = e.speed * cf;
                     speed *= slow;
+                    speed *= pressure;
                     let denom = speed.max(0.05);
                     memo_work = [costs.cpu_us[0] / denom, costs.cpu_us[1] / denom];
                     if costs.has_shuffle {
