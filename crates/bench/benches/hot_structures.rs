@@ -259,6 +259,83 @@ fn bench_superbatch_job(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fleet fast path's per-boundary costs: the structural quiescence
+/// probe the classifier runs on every parked tenant, and the
+/// delta-driven arbiter barrier against the dense pass for a 100-tenant
+/// fleet at a steady-demand barrier — the case the sparse entry point
+/// exists for.
+fn bench_fleet_fastpath(c: &mut Criterion) {
+    use nostop_core::arbiter::{ArbiterPolicy, ResourceRequest};
+    use spark_sim::arbiter::ExecutorArbiter;
+    use spark_sim::fleet::{FleetSim, TenantSpec};
+
+    // A parked steady tenant well into its periodic orbit: the probe is
+    // what classification pays per tenant per boundary.
+    let mut fleet = FleetSim::new(
+        &[TenantSpec::steady(WorkloadKind::WordCount, 7, 0)],
+        None,
+        ArbiterPolicy::FairShare,
+    );
+    fleet.run_epochs(40);
+    let engine = fleet.tenant_system(0).engine();
+    let mut group = c.benchmark_group("fleet_quiescence");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("probe", |b| {
+        b.iter(|| black_box(engine.quiescence_probe()));
+    });
+    group.finish();
+
+    const TENANTS: u32 = 100;
+    let reqs: Vec<ResourceRequest> = (0..TENANTS)
+        .map(|t| ResourceRequest {
+            tenant: t,
+            priority: 1 + t % 5,
+            want: 4 + t % 7,
+        })
+        .collect();
+    let seeded = || {
+        let mut arb = ExecutorArbiter::new(Some(1_000), ArbiterPolicy::FairShare, 3);
+        arb.enable_ledger_checkpointing(4_096);
+        arb.arbitrate(0, SimTime::ZERO, &reqs);
+        arb
+    };
+    let mut group = c.benchmark_group("arbiter_barrier_100");
+    group.throughput(Throughput::Elements(TENANTS as u64));
+    group.bench_function("dense_unchanged", |b| {
+        let mut arb = seeded();
+        let mut epoch = 0u64;
+        b.iter(|| {
+            epoch += 1;
+            black_box(arb.arbitrate(epoch, SimTime::from_secs_f64(epoch as f64), &reqs))
+        });
+    });
+    group.bench_function("sparse_unchanged", |b| {
+        let mut arb = seeded();
+        let mut epoch = 0u64;
+        b.iter(|| {
+            epoch += 1;
+            let grants = arb
+                .arbitrate_sparse(epoch, SimTime::from_secs_f64(epoch as f64), &reqs, &[])
+                .expect("steady barrier is licensed");
+            black_box(grants)
+        });
+    });
+    group.bench_function("sparse_one_changed", |b| {
+        let mut arb = seeded();
+        let mut reqs = reqs.clone();
+        let mut epoch = 0u64;
+        b.iter(|| {
+            epoch += 1;
+            reqs[0].want = 4 + (epoch % 2) as u32;
+            let grants = arb
+                .arbitrate_sparse(epoch, SimTime::from_secs_f64(epoch as f64), &reqs, &[0])
+                .expect("single riser is licensed");
+            black_box(grants)
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -266,6 +343,7 @@ criterion_group!(
     bench_normal_sampler,
     bench_json_boundary,
     bench_superbatch_kernel,
-    bench_superbatch_job
+    bench_superbatch_job,
+    bench_fleet_fastpath
 );
 criterion_main!(benches);

@@ -6,17 +6,23 @@
 //! tenant in a cell loses executors at the same instant — a rack event —
 //! and must recover under whatever budget the arbiter leaves it).
 //!
-//! Everything printed to **stdout** (and written to the report file) is a
-//! pure function of `(specs, budget, policy)` — digests, ledger counts,
-//! arbiter stats — so CI can diff the output byte-for-byte across
-//! `NOSTOP_JOBS` values. Wall-clock timings go to **stderr** only.
+//! Everything printed to **stdout** is a pure function of `(specs,
+//! budget, policy)` — digests, ledger counts, arbiter stats — so CI can
+//! diff the output byte-for-byte across `NOSTOP_JOBS` values *and*
+//! across the fleet fast path and its probe mode
+//! (`NOSTOP_NO_FLEET_FASTPATH=1`). Wall-clock timings go to **stderr**
+//! and — as `wall_ms`, best of `NOSTOP_PERF_REPEATS` runs (default 1) —
+//! into the report **file only**; the file is the one artifact allowed
+//! to differ between hosts and modes.
 //!
 //! The binary is also its own acceptance test: before writing anything it
 //! replays the 100-tenant contended fleet at `NOSTOP_JOBS=1` and at the
 //! configured worker count and asserts the byte-level summaries (per-
 //! tenant RNG fingerprints, clocks, listener totals, the full arbiter
 //! ledger) are identical, and that every scenario's ledger conserves the
-//! budget under replay.
+//! budget under replay. The 2,000-tenant steady scenario additionally
+//! exercises ledger checkpointing and requires the fast path to engage
+//! (when enabled).
 
 use nostop_bench::parallel::jobs;
 use nostop_core::arbiter::ArbiterPolicy;
@@ -38,6 +44,11 @@ const FLEET_BUDGET: u32 = 600;
 const CHAOS_TENANTS: u32 = 12;
 const CHAOS_BUDGET: u32 = 72;
 const CHAOS_EPOCHS: u64 = 8;
+/// The sparse-stepping scenario: a steady fleet at real fleet scale.
+const STEADY_TENANTS: u32 = 2_000;
+const STEADY_EPOCHS: u64 = 40;
+/// Ledger tail capacity for the steady scenario's checkpointing mode.
+const STEADY_CHECKPOINT_CAP: usize = 4_096;
 /// The instant every tenant in a chaos cell loses executors together.
 const CHAOS_CRASH_SECS: f64 = 90.0;
 
@@ -60,19 +71,49 @@ fn fleet_specs(n: u32, fleet_seed: u64) -> Vec<TenantSpec> {
         .collect()
 }
 
-/// One deterministic scenario row: run the fleet, assert conservation,
-/// and report digests + arbiter accounting. Wall time goes to stderr.
+/// Repeat count for wall-time measurement: `NOSTOP_PERF_REPEATS`
+/// (clamped ≥ 1), default 1 — the deterministic outputs are asserted
+/// identical across repeats, and the best (lowest) wall time is kept.
+fn report_repeats() -> usize {
+    std::env::var("NOSTOP_PERF_REPEATS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(1usize)
+        .max(1)
+}
+
+/// One deterministic scenario row: run the fleet (best wall time of
+/// [`report_repeats`] runs, digests asserted identical across repeats),
+/// assert conservation, and report digests + arbiter accounting.
+/// Returns `(row, best_wall_ms)` — the wall time goes to stderr and the
+/// report *file*, never to stdout.
 fn scenario_row(
     name: &str,
     specs: &[TenantSpec],
     budget: Option<u32>,
     policy: ArbiterPolicy,
     epochs: u64,
-) -> Json {
-    let start = Instant::now();
-    let mut fleet = FleetSim::new(specs, budget, policy);
-    fleet.run_epochs(epochs);
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+) -> (Json, f64) {
+    let mut best_wall = f64::INFINITY;
+    let mut kept: Option<FleetSim> = None;
+    for _ in 0..report_repeats() {
+        let start = Instant::now();
+        let mut fleet = FleetSim::new(specs, budget, policy);
+        fleet.run_epochs(epochs);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        if let Some(prev) = &kept {
+            assert_eq!(
+                prev.digest(),
+                fleet.digest(),
+                "{name}: digest changed between repeats"
+            );
+        }
+        if wall_ms < best_wall {
+            best_wall = wall_ms;
+        }
+        kept = Some(fleet);
+    }
+    let fleet = kept.expect("at least one repeat");
 
     check_ledger_conservation(fleet.arbiter().ledger())
         .unwrap_or_else(|e| panic!("{name}: ledger conservation violated: {e}"));
@@ -86,10 +127,10 @@ fn scenario_row(
     let satisfied = fleet.last_grants().iter().filter(|g| g.satisfied).count();
     let stats = fleet.arbiter().stats();
     eprintln!(
-        "scenario {name:<28} {:>3} tenants x{epochs} epochs  {wall_ms:>8.1} ms",
+        "scenario {name:<28} {:>3} tenants x{epochs} epochs  {best_wall:>8.1} ms",
         specs.len()
     );
-    json::obj(vec![
+    let row = json::obj(vec![
         ("scenario", json::str(name)),
         ("tenants", json::uint(specs.len() as u64)),
         ("epochs", json::uint(epochs)),
@@ -112,7 +153,89 @@ fn scenario_row(
         ("preemptions", json::uint(stats.preemptions)),
         ("revocations", json::uint(stats.revocations)),
         ("coalesced_rounds", json::uint(stats.coalesced_rounds)),
-    ])
+    ]);
+    (row, best_wall)
+}
+
+/// The sparse-stepping scenario: 2,000 steady tenants with ledger
+/// checkpointing on. The stdout row carries only mode-independent
+/// values (the digest, the classification counter, the checkpoint
+/// base) so the fast path and probe mode print byte-identical reports;
+/// the actually-skipped count joins `wall_ms` in the file only.
+/// Returns `(stdout_row, wall_ms, skipped_epochs)`.
+fn steady_scale_row() -> (Json, f64, u64) {
+    let specs: Vec<TenantSpec> = (0..STEADY_TENANTS)
+        .map(|i| {
+            let kind = if i % 2 == 0 {
+                WorkloadKind::WordCount
+            } else {
+                WorkloadKind::PageAnalyze
+            };
+            TenantSpec::steady(kind, 2026, i)
+        })
+        .collect();
+    let mut best_wall = f64::INFINITY;
+    let mut kept: Option<FleetSim> = None;
+    for _ in 0..report_repeats() {
+        let start = Instant::now();
+        let mut fleet = FleetSim::new(&specs, None, ArbiterPolicy::FairShare);
+        fleet.enable_ledger_checkpointing(STEADY_CHECKPOINT_CAP);
+        fleet.run_epochs(STEADY_EPOCHS);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        if let Some(prev) = &kept {
+            assert_eq!(
+                prev.digest(),
+                fleet.digest(),
+                "steady_2000: digest changed between repeats"
+            );
+        }
+        if wall_ms < best_wall {
+            best_wall = wall_ms;
+        }
+        kept = Some(fleet);
+    }
+    let fleet = kept.expect("at least one repeat");
+
+    fleet
+        .arbiter()
+        .check_conservation()
+        .unwrap_or_else(|e| panic!("steady_2000: ledger conservation violated: {e}"));
+    if fleet.fastpath_enabled() {
+        assert!(
+            fleet.total_skipped_epochs() > 0,
+            "steady_2000: the fast path never engaged"
+        );
+    } else {
+        assert_eq!(
+            fleet.total_skipped_epochs(),
+            0,
+            "steady_2000: probe mode must never skip"
+        );
+    }
+    eprintln!(
+        "scenario {:<28} {STEADY_TENANTS:>3} tenants x{STEADY_EPOCHS} epochs  {best_wall:>8.1} ms  \
+         ({} epochs fast-forwarded)",
+        "steady_2000",
+        fleet.total_skipped_epochs()
+    );
+    let row = json::obj(vec![
+        ("scenario", json::str("steady_2000")),
+        ("tenants", json::uint(STEADY_TENANTS as u64)),
+        ("epochs", json::uint(STEADY_EPOCHS)),
+        ("budget", Json::Null),
+        ("policy", json::str(ArbiterPolicy::FairShare.name())),
+        ("digest", json::str(format!("{:016x}", fleet.digest()))),
+        ("would_skip_epochs", json::uint(fleet.would_skip_epochs())),
+        (
+            "ledger_checkpoint_base_seq",
+            json::uint(fleet.arbiter().base_seq()),
+        ),
+        (
+            "ledger_len",
+            json::uint(fleet.arbiter().ledger().len() as u64),
+        ),
+    ]);
+    (row, best_wall, fleet.total_skipped_epochs())
 }
 
 /// Attach the correlated rack fault to every tenant in a population.
@@ -155,6 +278,16 @@ fn assert_replay_at_scale(specs: &[TenantSpec]) -> u64 {
     digest
 }
 
+/// The file copy of a row: the stdout row plus its best wall time (and
+/// any other host/mode-dependent extras).
+fn with_wall(row: &Json, wall_ms: f64) -> Json {
+    let mut r = row.clone();
+    if let Json::Obj(fields) = &mut r {
+        fields.push(("wall_ms".to_string(), json::num(wall_ms)));
+    }
+    r
+}
+
 fn main() {
     let path = std::env::args()
         .nth(1)
@@ -181,6 +314,9 @@ fn main() {
         ));
     }
 
+    // --- Sparse stepping at fleet scale ---
+    let (steady_row, steady_wall, steady_skipped) = steady_scale_row();
+
     // --- Chaos grid: policies × correlated multi-tenant faults ---
     let mut chaos_rows = Vec::new();
     for policy in POLICIES {
@@ -189,7 +325,7 @@ fn main() {
             ("rack_crash_permanent", None),
         ] {
             let specs = with_correlated_crash(fleet_specs(CHAOS_TENANTS, 777), relaunch);
-            let mut row = scenario_row(
+            let (mut row, wall) = scenario_row(
                 &format!("{}__{fault_name}", policy.name()),
                 &specs,
                 Some(CHAOS_BUDGET),
@@ -200,28 +336,54 @@ fn main() {
                 fields.push(("fault".to_string(), json::str(fault_name)));
                 fields.push(("crash_at_s".to_string(), json::num(CHAOS_CRASH_SECS)));
             }
-            chaos_rows.push(row);
+            chaos_rows.push((row, wall));
         }
     }
 
-    let report = json::obj(vec![
-        ("schema", json::str("nostop-fleet/1")),
-        (
-            "replay",
-            json::obj(vec![
-                ("tenants", json::uint(FLEET_TENANTS as u64)),
-                ("epochs", json::uint(FLEET_EPOCHS)),
-                ("budget", json::uint(FLEET_BUDGET as u64)),
-                ("digest", json::str(format!("{replay_digest:016x}"))),
-                ("identical_across_jobs", Json::Bool(true)),
-            ]),
-        ),
-        ("scenarios", Json::Arr(scenario_rows)),
-        ("chaos_grid", Json::Arr(chaos_rows)),
-    ]);
+    // Two renderings of the same report: stdout stays a pure function of
+    // (specs, budget, policy) for CI byte-diffs; the file additionally
+    // carries wall times and the mode-dependent skip count.
+    let render = |with_timings: bool| {
+        let steady_file_row = if with_timings {
+            let mut r = with_wall(&steady_row, steady_wall);
+            if let Json::Obj(fields) = &mut r {
+                fields.push(("skipped_epochs".to_string(), json::uint(steady_skipped)));
+            }
+            r
+        } else {
+            steady_row.clone()
+        };
+        let pick = |rows: &[(Json, f64)]| -> Vec<Json> {
+            rows.iter()
+                .map(|(row, wall)| {
+                    if with_timings {
+                        with_wall(row, *wall)
+                    } else {
+                        row.clone()
+                    }
+                })
+                .collect()
+        };
+        json::obj(vec![
+            ("schema", json::str("nostop-fleet/1")),
+            (
+                "replay",
+                json::obj(vec![
+                    ("tenants", json::uint(FLEET_TENANTS as u64)),
+                    ("epochs", json::uint(FLEET_EPOCHS)),
+                    ("budget", json::uint(FLEET_BUDGET as u64)),
+                    ("digest", json::str(format!("{replay_digest:016x}"))),
+                    ("identical_across_jobs", Json::Bool(true)),
+                ]),
+            ),
+            ("scenarios", Json::Arr(pick(&scenario_rows))),
+            ("steady_scale", steady_file_row),
+            ("chaos_grid", Json::Arr(pick(&chaos_rows))),
+        ])
+    };
 
-    let text = report.to_string_pretty();
-    std::fs::write(&path, format!("{text}\n")).expect("write BENCH_fleet.json");
-    println!("{text}");
+    let file_text = render(true).to_string_pretty();
+    std::fs::write(&path, format!("{file_text}\n")).expect("write BENCH_fleet.json");
+    println!("{}", render(false).to_string_pretty());
     eprintln!("wrote {path} (jobs={})", jobs());
 }

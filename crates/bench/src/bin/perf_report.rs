@@ -53,12 +53,20 @@ const BO_ITERATIONS: usize = 15;
 /// Throughput floor for `--smoke`: fail below 75% of the committed number.
 const SMOKE_FLOOR: f64 = 0.75;
 
-/// Fleet smoke cell: a contended multi-tenant fleet, single-threaded so
-/// the number tracks per-core work (the worker pool is the driver
-/// matrix's story, not this cell's).
+/// Fleet smoke cell: a steady multi-tenant fleet run long enough that
+/// most epochs are quiescent, single-threaded so the number tracks
+/// per-core work (the worker pool is the driver matrix's story, not this
+/// cell's). The cell's story is the sparse fast path: after the arming
+/// runway (~25 dense epochs while controllers park and windows cap) the
+/// remaining epochs replay in closed form, so epochs/s measures the
+/// skip machinery, not the DES.
 const FLEET_TENANTS: u32 = 32;
-const FLEET_EPOCHS: u64 = 6;
-const FLEET_BUDGET: u32 = 128;
+const FLEET_EPOCHS: u64 = 128;
+const FLEET_BUDGET: u32 = 640;
+/// `--smoke` scale guard: a 2,000-tenant steady fleet must complete with
+/// the fast path engaged (skipped epochs > 0).
+const SCALE_TENANTS: u32 = 2_000;
+const SCALE_EPOCHS: u64 = 40;
 
 /// The committed engine matrix: `(workload, interval_s, executors)`.
 const MATRIX: [(WorkloadKind, f64, u32); 6] = [
@@ -175,14 +183,20 @@ fn best_engine_cell(
     best.expect("at least one repeat")
 }
 
-/// One fleet cell: run the contended 32-tenant fleet on one worker and
+/// One fleet cell: run the steady 32-tenant fleet on one worker and
 /// return its deterministic digest (pins the work against DCE and lets
-/// repeats assert they simulated the same fleet).
+/// repeats assert they simulated the same fleet). Steady tenants park
+/// and arm, so the bulk of the epochs exercise the quiescent-tenant
+/// fast-forward and the delta-driven arbiter barrier.
 fn run_fleet_cell() -> u64 {
     let specs: Vec<TenantSpec> = (0..FLEET_TENANTS)
         .map(|i| {
-            let kind = WorkloadKind::ALL[(i % 4) as usize];
-            let mut spec = TenantSpec::paper(kind, 7, i);
+            let kind = if i % 2 == 0 {
+                WorkloadKind::WordCount
+            } else {
+                WorkloadKind::PageAnalyze
+            };
+            let mut spec = TenantSpec::steady(kind, 7, i);
             spec.priority = 1 + (i % 5);
             spec
         })
@@ -268,6 +282,42 @@ fn smoke(path: &str) -> i32 {
             regressed += 1;
         }
     }
+    // 2,000-tenant scale row: a steady fleet at real fleet scale must
+    // complete with the sparse fast path engaged. No committed baseline
+    // — this is a functional floor (the fast path exists and engages at
+    // scale), not a throughput comparison, so it runs once.
+    {
+        let start = Instant::now();
+        let specs: Vec<TenantSpec> = (0..SCALE_TENANTS)
+            .map(|i| {
+                let kind = if i % 2 == 0 {
+                    WorkloadKind::WordCount
+                } else {
+                    WorkloadKind::PageAnalyze
+                };
+                TenantSpec::steady(kind, 2026, i)
+            })
+            .collect();
+        let mut fleet = FleetSim::new(&specs, None, ArbiterPolicy::FairShare);
+        fleet.set_jobs(1);
+        fleet.enable_ledger_checkpointing(4_096);
+        fleet.run_epochs(SCALE_EPOCHS);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let eps = SCALE_EPOCHS as f64 / (wall_ms / 1e3);
+        fleet
+            .arbiter()
+            .check_conservation()
+            .expect("2000-tenant ledger conserves");
+        let skipped = fleet.total_skipped_epochs();
+        if fleet.fastpath_enabled() && skipped == 0 {
+            eprintln!("smoke: 2000-tenant steady fleet never fast-forwarded");
+            regressed += 1;
+        }
+        println!(
+            "smoke {:<22} {SCALE_TENANTS:>3}t x{SCALE_EPOCHS:<4} {eps:>9.1} ep/s  skipped={skipped} ok",
+            "fleet(2000 steady)"
+        );
+    }
     // Fleet smoke row: same floor, same stale-vs-slow distinction as the
     // engine cells — a missing fleet section is a stale report, not a
     // regression, and still fails hard.
@@ -279,7 +329,7 @@ fn smoke(path: &str) -> i32 {
             let verdict = if ratio >= SMOKE_FLOOR { "ok" } else { "FAIL" };
             println!(
                 "smoke {:<22} {FLEET_TENANTS:>3}t x{FLEET_EPOCHS:<4} {eps:>9.1} ep/s vs {base_eps:>9.1} committed  ({ratio:.2}x) {verdict}",
-                "fleet(contended)"
+                "fleet(steady)"
             );
             if ratio < SMOKE_FLOOR {
                 regressed += 1;

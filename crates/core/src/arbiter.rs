@@ -195,6 +195,49 @@ impl LedgerEvent {
     }
 }
 
+/// A folded ledger prefix. Long-lived fleets grow ledgers without bound;
+/// past a configured capacity the arbiter verifies the conservation
+/// invariant over the in-memory prefix and collapses it into this
+/// snapshot: everything replay needs to continue checking the live tail
+/// without the folded entries. `base_seq` is the sequence number the
+/// next tail entry will carry (= total entries ever folded), and
+/// `in_use` is the fleet-wide allocation after the last folded entry —
+/// the replay base the tail's deltas accumulate from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerCheckpoint {
+    /// Fleet barrier the fold happened at.
+    pub epoch: u64,
+    /// Sequence number of the first tail entry after the fold.
+    pub base_seq: u64,
+    /// Fleet-wide allocated executors after the folded prefix.
+    pub in_use: u64,
+    /// The budget in force (`u64::MAX` = unlimited).
+    pub budget: u64,
+}
+
+impl LedgerCheckpoint {
+    /// Serialize as a [`Json`] value (fixed key order).
+    pub fn to_json_value(&self) -> Json {
+        json::obj(vec![
+            ("checkpoint", json::uint(self.epoch)),
+            ("baseSeq", json::uint(self.base_seq)),
+            ("inUse", json::uint(self.in_use)),
+            ("budget", json::uint(self.budget)),
+        ])
+    }
+
+    /// Parse from the value produced by
+    /// [`LedgerCheckpoint::to_json_value`].
+    pub fn from_json_value(v: &Json) -> Result<Self, json::Error> {
+        Ok(LedgerCheckpoint {
+            epoch: v.field_u64("checkpoint")?,
+            base_seq: v.field_u64("baseSeq")?,
+            in_use: v.field_u64("inUse")?,
+            budget: v.field_u64("budget")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,5 +288,21 @@ mod tests {
         let text = event.to_json_value().to_string();
         let back = LedgerEvent::from_json_value(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(event, back);
+    }
+
+    #[test]
+    fn ledger_checkpoint_json_round_trips() {
+        let cp = LedgerCheckpoint {
+            epoch: 900,
+            base_seq: 4_096,
+            in_use: 512,
+            budget: 640,
+        };
+        let text = cp.to_json_value().to_string();
+        let back = LedgerCheckpoint::from_json_value(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(cp, back);
+        // The lead key distinguishes a checkpoint line from an event line
+        // in a mixed JSONL ledger stream.
+        assert!(text.starts_with("{\"checkpoint\":"));
     }
 }

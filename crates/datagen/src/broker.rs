@@ -169,6 +169,29 @@ impl Broker {
         take
     }
 
+    /// Produced offset per partition (uniform by construction).
+    pub fn produced_per_partition(&self) -> u64 {
+        self.produced_per_partition
+    }
+
+    /// Bit pattern of the fractional production carry — a bitwise
+    /// stationarity probe for closed-form fast paths.
+    pub fn produce_carry_bits(&self) -> u64 {
+        self.produce_carry.to_bits()
+    }
+
+    /// Advance every partition by `per_partition` produced-and-consumed
+    /// offsets in one step. Only valid at the lag-0 fixed point (every
+    /// record cut as soon as it arrives), where production and consumption
+    /// telescope to the same per-partition advance.
+    pub fn fast_forward(&mut self, per_partition: u64) {
+        debug_assert_eq!(self.total_lag(), 0, "fast_forward requires zero lag");
+        self.produced_per_partition += per_partition;
+        for p in &mut self.partitions {
+            p.consumed = self.produced_per_partition;
+        }
+    }
+
     fn take_uniform(&mut self, mut remaining: u64) {
         if remaining == 0 {
             return;
@@ -293,6 +316,20 @@ mod tests {
         for lag in b.partition_lags() {
             assert!((40..=60).contains(&lag), "lag {lag}");
         }
+    }
+
+    #[test]
+    fn fast_forward_matches_produce_then_drain() {
+        let mut slow = broker(4);
+        let mut fast = broker(4);
+        for _ in 0..3 {
+            slow.produce(400);
+            slow.consume_window(1.0);
+            fast.fast_forward(100);
+        }
+        assert_eq!(slow.produced_per_partition(), fast.produced_per_partition());
+        assert_eq!(slow.total_consumed(), fast.total_consumed());
+        assert_eq!(fast.total_lag(), 0);
     }
 
     #[test]

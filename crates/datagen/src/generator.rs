@@ -97,6 +97,33 @@ impl StreamGenerator {
     pub fn produced_until(&self) -> SimTime {
         self.produced_until
     }
+
+    /// The earliest instant strictly after `after` at which the rate process
+    /// may change value ([`SimTime::MAX`] when it never will). See
+    /// [`RateProcess::next_change_at`] for the guarantee.
+    pub fn next_change_at(&self, after: SimTime) -> SimTime {
+        self.rate.next_change_at(after)
+    }
+
+    /// Bit pattern of the fractional record carry — a bitwise stationarity
+    /// probe for closed-form fast paths.
+    pub fn carry_bits(&self) -> u64 {
+        self.carry.to_bits()
+    }
+
+    /// Bit pattern of the last sampled instantaneous rate.
+    pub fn last_rate_bits(&self) -> u64 {
+        self.last_rate.to_bits()
+    }
+
+    /// Shift the integration watermark forward by `delta` without touching
+    /// the carry or the rate process. Only valid when the caller has already
+    /// accounted the window's production elsewhere (the fleet fast path
+    /// replays a proven-periodic epoch whose per-window production and carry
+    /// evolution are bit-identical to the previous one).
+    pub fn fast_forward(&mut self, delta: SimDuration) {
+        self.produced_until += delta;
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +233,21 @@ mod tests {
             let n = g.advance_to(SimTime::from_secs_f64(15.0 * i as f64), &mut b);
             assert_eq!(n, 150_000, "batch {i}");
         }
+    }
+
+    #[test]
+    fn fast_forward_shifts_watermark_and_preserves_carry() {
+        let mut g = StreamGenerator::new(Box::new(ConstantRate::new(333.3)));
+        let mut b = broker();
+        g.advance_to(SimTime::from_secs_f64(3.0), &mut b);
+        let carry = g.carry_bits();
+        g.fast_forward(SimDuration::from_secs(12));
+        assert_eq!(g.produced_until(), SimTime::from_secs_f64(15.0));
+        assert_eq!(g.carry_bits(), carry);
+        assert_eq!(
+            g.next_change_at(SimTime::ZERO),
+            nostop_simcore::SimTime::MAX
+        );
     }
 
     #[test]

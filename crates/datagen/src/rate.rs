@@ -35,6 +35,16 @@ pub trait RateProcess: Send {
     fn constant(&self) -> Option<f64> {
         None
     }
+
+    /// The earliest instant strictly after `after` at which the process may
+    /// return a different value — the rate is guaranteed constant over the
+    /// open interval `(after, next_change_at(after))`. Fast paths use this
+    /// to prove a horizon is event-free; returning `after` itself makes no
+    /// guarantee at all, which is the safe default for processes that vary
+    /// continuously (sinusoids, ramps mid-flight).
+    fn next_change_at(&self, after: SimTime) -> SimTime {
+        after
+    }
 }
 
 /// A constant arrival rate — the idealized regime prior work assumes.
@@ -61,6 +71,9 @@ impl RateProcess for ConstantRate {
     }
     fn constant(&self) -> Option<f64> {
         Some(self.rate)
+    }
+    fn next_change_at(&self, _after: SimTime) -> SimTime {
+        SimTime::MAX
     }
 }
 
@@ -124,6 +137,15 @@ impl RateProcess for UniformRandomRate {
     }
     fn bounds(&self) -> Option<(f64, f64)> {
         Some((self.min_rate, self.max_rate))
+    }
+    fn next_change_at(&self, after: SimTime) -> SimTime {
+        // `next_redraw` advances lazily inside `rate_at`; when the caller
+        // asks past it the state is stale and no guarantee can be made.
+        if after >= self.next_redraw {
+            after
+        } else {
+            self.next_redraw
+        }
     }
 }
 
@@ -200,6 +222,14 @@ impl RateProcess for RampRate {
             self.start_rate.min(self.end_rate).max(0.0),
             self.start_rate.max(self.end_rate),
         ))
+    }
+    fn next_change_at(&self, after: SimTime) -> SimTime {
+        // The ramp holds `end_rate` forever once it completes.
+        if after.as_secs_f64() >= self.duration_secs {
+            SimTime::MAX
+        } else {
+            after
+        }
     }
 }
 
@@ -297,6 +327,19 @@ impl RateProcess for SurgeRate {
     fn bounds(&self) -> Option<(f64, f64)> {
         self.base.bounds().map(|(lo, hi)| (lo, hi * self.magnitude))
     }
+    fn next_change_at(&self, after: SimTime) -> SimTime {
+        // Onset state advances lazily in `rate_at`; a stale query makes no
+        // guarantee. Otherwise the envelope is constant until the surge
+        // window closes or the next onset fires, whichever the base allows.
+        if after >= self.next_onset {
+            return after;
+        }
+        let mut t = self.base.next_change_at(after).min(self.next_onset);
+        if after < self.surge_until {
+            t = t.min(self.surge_until);
+        }
+        t
+    }
 }
 
 /// A rate replayed from recorded `(t_secs, rate)` breakpoints with
@@ -379,6 +422,13 @@ impl RateProcess for TraceRate {
         let hi = self.points.iter().map(|&(_, r)| r).fold(0.0f64, f64::max);
         Some((lo.max(0.0), hi))
     }
+    fn next_change_at(&self, after: SimTime) -> SimTime {
+        let ts = after.as_secs_f64();
+        match self.points.iter().find(|&&(bt, _)| bt > ts) {
+            Some(&(bt, _)) => SimTime::from_secs_f64(bt),
+            None => SimTime::MAX,
+        }
+    }
 }
 
 /// Scale another process by a constant factor — used by back pressure tests
@@ -406,6 +456,9 @@ impl RateProcess for ScaledRate {
         self.inner
             .bounds()
             .map(|(lo, hi)| (lo * self.factor, hi * self.factor))
+    }
+    fn next_change_at(&self, after: SimTime) -> SimTime {
+        self.inner.next_change_at(after)
     }
 }
 
@@ -714,6 +767,60 @@ mod tests {
             for i in 0..100 {
                 assert_eq!(a.rate_at(t(i as f64)), b.rate_at(t(i as f64)), "{spec:?}");
             }
+        }
+    }
+
+    #[test]
+    fn next_change_at_brackets_every_process() {
+        // Constant: never changes.
+        assert_eq!(ConstantRate::new(5.0).next_change_at(t(3.0)), SimTime::MAX);
+        // Uniform-random: the next redraw boundary, stale queries refuse.
+        let mut u = UniformRandomRate::new(10.0, 20.0, 30.0, SimRng::seed_from_u64(1));
+        u.rate_at(t(5.0));
+        assert_eq!(u.next_change_at(t(5.0)), t(30.0));
+        assert_eq!(u.next_change_at(t(31.0)), t(31.0), "stale query");
+        // Sinusoid varies continuously: no guarantee.
+        assert_eq!(
+            SinusoidRate::new(10.0, 5.0, 60.0).next_change_at(t(7.0)),
+            t(7.0)
+        );
+        // Ramp: constant only after completion.
+        let r = RampRate::new(0.0, 100.0, 10.0);
+        assert_eq!(r.next_change_at(t(5.0)), t(5.0));
+        assert_eq!(r.next_change_at(t(10.0)), SimTime::MAX);
+        // Surge over a constant base: next onset bounds the guarantee.
+        let mut s = SurgeRate::scheduled(Box::new(ConstantRate::new(10.0)), 3.0, 100.0, 20.0);
+        assert_eq!(s.next_change_at(t(50.0)), t(100.0));
+        s.rate_at(t(105.0)); // inside the surge window
+        assert_eq!(s.next_change_at(t(105.0)), t(120.0));
+        // Trace: the next breakpoint, MAX past the last one.
+        let tr = TraceRate::new(vec![(0.0, 100.0), (10.0, 200.0)]);
+        assert_eq!(tr.next_change_at(t(3.0)), t(10.0));
+        assert_eq!(tr.next_change_at(t(10.0)), SimTime::MAX);
+        // Scaled: delegates.
+        let sc = ScaledRate::new(Box::new(ConstantRate::new(40.0)), 2.0);
+        assert_eq!(sc.next_change_at(t(1.0)), SimTime::MAX);
+    }
+
+    /// The `(after, next_change_at)` guarantee holds empirically: replaying
+    /// the process inside the promised window never changes the rate.
+    #[test]
+    fn next_change_at_guarantee_is_sound() {
+        let mut r = UniformRandomRate::new(0.0, 1000.0, 7.0, SimRng::seed_from_u64(11));
+        let mut clock = 0.25f64;
+        for _ in 0..50 {
+            let base = r.rate_at(t(clock));
+            let until = r.next_change_at(t(clock));
+            if until > t(clock) && until < SimTime::MAX {
+                let mut probe = t(clock);
+                let step = nostop_simcore::SimDuration::from_millis(500);
+                while probe + step < until {
+                    probe += step;
+                    assert_eq!(r.rate_at(probe), base, "changed before promised instant");
+                }
+                clock = clock.max(probe.as_secs_f64());
+            }
+            clock += 1.1;
         }
     }
 

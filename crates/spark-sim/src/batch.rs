@@ -110,6 +110,13 @@ impl BatchQueue {
     pub fn total_cut(&self) -> u64 {
         self.next_id
     }
+
+    /// Reserve `n` ids without enqueueing anything — the fleet fast path
+    /// accounts for batches it replays in closed form, so a later dense cut
+    /// numbers exactly as if every skipped batch had been cut normally.
+    pub(crate) fn skip_ids(&mut self, n: u64) {
+        self.next_id += n;
+    }
 }
 
 #[cfg(test)]

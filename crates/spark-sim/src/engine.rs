@@ -116,6 +116,63 @@ impl EngineParams {
     }
 }
 
+/// One epoch-boundary snapshot of everything that must be *stationary*
+/// between two consecutive controller rounds for the fleet fast path to
+/// replay a tenant in closed form. Every field is an integer or a bit
+/// pattern — equality is bitwise, with no tolerance anywhere — so two
+/// equal shapes plus per-batch template equality prove the engine is on a
+/// periodic orbit: the next epoch is the previous one shifted in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuiescenceShape {
+    /// Time until the armed divider fires, µs.
+    pub next_cut_in_us: u64,
+    /// Time since the last successful cut, µs.
+    pub since_last_cut_us: u64,
+    /// How far the clock leads the production watermark, µs.
+    pub ingest_lag_us: u64,
+    /// Interval the next batch will be cut with, µs.
+    pub interval_us: u64,
+    /// Records dropped by outages so far (constant while quiet).
+    pub dropped_records: u64,
+    /// Live executor count.
+    pub executors: u32,
+    /// Executor fleet version (bumps on launch/retire/crash).
+    pub fleet_version: u64,
+    /// The controller's unclamped executor want.
+    pub desired_executors: u32,
+    /// The fleet cap in force (`u32::MAX` = uncapped).
+    pub executor_cap: u32,
+    /// Fleet contention pressure, as bits (1.0 exactly when unconstrained).
+    pub pressure_bits: u64,
+    /// Generator fractional-record carry, as bits.
+    pub gen_carry_bits: u64,
+    /// Generator last sampled rate, as bits.
+    pub gen_rate_bits: u64,
+    /// Broker production carry, as bits.
+    pub broker_carry_bits: u64,
+    /// The superbatch signature of the previous batch.
+    pub superbatch_sig: BatchSignature,
+    /// All three RNG stream positions — unchanged across an epoch means
+    /// the epoch drew zero random values.
+    pub rng: [u64; 12],
+}
+
+/// A passing structural probe at an epoch boundary: the engine is idle
+/// (no running job, empty queue, zero broker lag, settled executors) and
+/// *may* be quiescent. The cumulative counters let the caller diff two
+/// consecutive probes to learn the per-epoch advance it would replay.
+#[derive(Debug, Clone, Copy)]
+pub struct QuiescenceProbe {
+    /// The stationary part, compared bitwise across boundaries.
+    pub shape: QuiescenceShape,
+    /// Total batches ever cut.
+    pub batches_cut: u64,
+    /// Broker produced offset per partition.
+    pub produced_per_partition: u64,
+    /// Superbatch engagement counters.
+    pub superbatch_stats: SuperbatchStats,
+}
+
 /// A running job: the batch being processed and when it will finish.
 #[derive(Debug, Clone, Copy)]
 struct RunningJob {
@@ -389,6 +446,108 @@ impl StreamingEngine {
         out[4..8].copy_from_slice(&self.job_rng.state());
         out[8..].copy_from_slice(&self.fault_rng.state());
         out
+    }
+
+    /// Structural quiescence probe at the current instant, `None` unless
+    /// the engine is at an idle fixed point: no running job, empty batch
+    /// queue, zero broker lag, no back-pressure limit, no unattributed
+    /// executor failures, no mid-window arrivals, every executor settled
+    /// (ready, jar shipped), and a superbatch signature on record. The
+    /// fleet fast path calls this at epoch boundaries; see
+    /// [`QuiescenceShape`] for what equality across two probes proves.
+    pub fn quiescence_probe(&self) -> Option<QuiescenceProbe> {
+        if self.running.is_some()
+            || !self.queue.is_empty()
+            || self.broker.total_lag() != 0
+            || self.broker.max_consume_rate().is_some()
+            || self.pending_failures != 0
+            || self.arrived_since_cut != 0
+        {
+            return None;
+        }
+        let boundary = self.clock;
+        if self
+            .executors
+            .executors()
+            .iter()
+            .any(|e| e.fresh || e.ready_at > boundary)
+        {
+            return None;
+        }
+        let sig = self.superbatch.prev?;
+        Some(QuiescenceProbe {
+            shape: QuiescenceShape {
+                next_cut_in_us: self.next_cut.saturating_since(boundary).as_micros(),
+                since_last_cut_us: boundary.saturating_since(self.last_cut).as_micros(),
+                ingest_lag_us: boundary
+                    .saturating_since(self.generator.produced_until())
+                    .as_micros(),
+                interval_us: self.current_interval.as_micros(),
+                dropped_records: self.dropped_records,
+                executors: self.executors.count(),
+                fleet_version: self.executors.fleet_version(),
+                desired_executors: self.target_executors,
+                executor_cap: self.external_cap,
+                pressure_bits: self.noise.external_pressure().to_bits(),
+                gen_carry_bits: self.generator.carry_bits(),
+                gen_rate_bits: self.generator.last_rate_bits(),
+                broker_carry_bits: self.broker.produce_carry_bits(),
+                superbatch_sig: sig,
+                rng: self.rng_fingerprint(),
+            },
+            batches_cut: self.queue.total_cut(),
+            produced_per_partition: self.broker.produced_per_partition(),
+            superbatch_stats: self.superbatch.stats,
+        })
+    }
+
+    /// True when no wake-worthy event can occur in `(from, until]`: no
+    /// fault point event or window ([`FaultState::quiet_over`]), no rate-
+    /// process change point, and no contention episode on any executor-
+    /// occupied node. Together with a stationary [`QuiescenceShape`] this
+    /// licenses fast-forwarding the horizon without simulating it.
+    pub fn horizon_quiet(&self, from: SimTime, until: SimTime) -> bool {
+        self.faults.quiet_over(from, until)
+            && self.generator.next_change_at(from) > until
+            && self.noise.quiescent_over(
+                from,
+                until,
+                self.executors.executors().iter().map(|e| e.node),
+            )
+    }
+
+    /// Record a replayed batch: the fleet fast path re-enacts a proven-
+    /// periodic epoch by pushing the previous epoch's metrics shifted in
+    /// time, advancing the clock exactly as the dense completion event
+    /// would. The listener sees the identical `BatchMetrics` a dense step
+    /// would have produced.
+    pub fn replay_push(&mut self, m: BatchMetrics) {
+        debug_assert!(m.completed_at >= self.clock, "replay must move forward");
+        self.clock = m.completed_at;
+        self.listener.on_batch_completed(m);
+    }
+
+    /// Commit one replayed epoch's bookkeeping: shift the divider and cut
+    /// watermarks by `delta`, advance production closed-form (`batches`
+    /// cut ids, `per_partition` broker offsets at the lag-0 fixed point),
+    /// and accumulate the superbatch counters the skipped jobs would have
+    /// counted. Valid only after [`Self::replay_push`] advanced the clock
+    /// through the epoch and only under a stationary
+    /// [`QuiescenceShape`] — the engine state afterwards is bit-identical
+    /// to having stepped the epoch densely.
+    pub fn fleet_fast_forward(
+        &mut self,
+        delta: SimDuration,
+        batches: u64,
+        per_partition: u64,
+        stats_delta: &SuperbatchStats,
+    ) {
+        self.next_cut += delta;
+        self.last_cut += delta;
+        self.generator.fast_forward(delta);
+        self.broker.fast_forward(per_partition);
+        self.queue.skip_ids(batches);
+        self.superbatch.stats.accumulate(stats_delta);
     }
 
     /// Batches waiting in the queue.

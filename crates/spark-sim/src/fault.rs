@@ -398,6 +398,27 @@ impl FaultState {
         })
     }
 
+    /// True when the fault layer is provably inert over `[from, until]`:
+    /// no pending point event (crash or relaunch) fires at or before
+    /// `until`, no slowdown or task-failure window touches the range
+    /// ([`tasks_quiet_over`](Self::tasks_quiet_over)), and no receiver-
+    /// outage window overlaps it. The fleet fast path requires this over a
+    /// whole skip horizon before fast-forwarding a tenant — every fault
+    /// query a dense run would make in the range is then a constant and
+    /// draws nothing from the fault RNG.
+    pub fn quiet_over(&self, from: SimTime, until: SimTime) -> bool {
+        if self.next_timer_at() <= until {
+            return false;
+        }
+        if !self.tasks_quiet_over(from, until) {
+            return false;
+        }
+        self.plan.events().iter().all(|e| match *e {
+            FaultEvent::ReceiverOutage { from: s, until: u } => s > until || u <= from,
+            _ => true,
+        })
+    }
+
     /// True when `t` falls inside any receiver-outage window.
     pub fn in_outage(&self, t: SimTime) -> bool {
         self.plan.events().iter().any(
@@ -589,6 +610,33 @@ mod tests {
         assert_eq!(s.outage_segment(t(160.0), t(500.0)), (t(500.0), false));
         // The limit always caps the segment.
         assert_eq!(s.outage_segment(t(120.0), t(140.0)), (t(140.0), true));
+    }
+
+    #[test]
+    fn quiet_over_covers_every_event_class() {
+        assert!(FaultState::new(FaultPlan::none()).quiet_over(t(0.0), t(1e9)));
+        let s = FaultState::new(FaultPlan::new(vec![
+            FaultEvent::ExecutorCrash {
+                at: t(500.0),
+                count: 1,
+                relaunch_after: Some(SimDuration::from_secs(30)),
+            },
+            FaultEvent::ReceiverOutage {
+                from: t(100.0),
+                until: t(120.0),
+            },
+            FaultEvent::TaskFailures {
+                from: t(200.0),
+                until: t(210.0),
+                probability: 0.1,
+            },
+        ]));
+        assert!(s.quiet_over(t(0.0), t(99.0)));
+        assert!(!s.quiet_over(t(90.0), t(110.0)), "outage overlaps");
+        assert!(s.quiet_over(t(120.0), t(199.0)), "outage end exclusive");
+        assert!(!s.quiet_over(t(150.0), t(205.0)), "failure window");
+        assert!(!s.quiet_over(t(210.0), t(500.0)), "crash timer fires");
+        assert!(!s.quiet_over(t(210.0), t(501.0)), "crash still pending");
     }
 
     #[test]

@@ -99,6 +99,33 @@ pub struct SuperbatchStats {
     pub armed_blocks: u64,
 }
 
+impl SuperbatchStats {
+    /// Field-wise difference `self - before` — the counters one epoch (or
+    /// one job) advanced. Panics in debug builds if `before` is not a
+    /// prefix snapshot of `self`.
+    pub fn delta_since(&self, before: &SuperbatchStats) -> SuperbatchStats {
+        SuperbatchStats {
+            fast_batches: self.fast_batches - before.fast_batches,
+            eligible_batches: self.eligible_batches - before.eligible_batches,
+            quiescence_fallbacks: self.quiescence_fallbacks - before.quiescence_fallbacks,
+            fast_blocks: self.fast_blocks - before.fast_blocks,
+            eligible_blocks: self.eligible_blocks - before.eligible_blocks,
+            armed_blocks: self.armed_blocks - before.armed_blocks,
+        }
+    }
+
+    /// Field-wise accumulate — the inverse of [`Self::delta_since`], used
+    /// by the fleet fast path to account counters for replayed epochs.
+    pub fn accumulate(&mut self, delta: &SuperbatchStats) {
+        self.fast_batches += delta.fast_batches;
+        self.eligible_batches += delta.eligible_batches;
+        self.quiescence_fallbacks += delta.quiescence_fallbacks;
+        self.fast_blocks += delta.fast_blocks;
+        self.eligible_blocks += delta.eligible_blocks;
+        self.armed_blocks += delta.armed_blocks;
+    }
+}
+
 /// Per-job fast-path handle threaded into
 /// [`crate::scheduler::simulate_job`] when the signature armed the batch.
 ///
