@@ -34,10 +34,16 @@ pub fn normal_cdf(z: f64) -> f64 {
 /// Expected improvement (minimization) at a point with posterior
 /// `(mean, variance)` given incumbent `best` and exploration margin `xi`.
 pub fn expected_improvement(mean: f64, variance: f64, best: f64, xi: f64) -> f64 {
-    let sigma = variance.max(0.0).sqrt();
-    if sigma < 1e-12 {
+    // Guard on *variance*, before the sqrt: a denormal σ² squeezes through
+    // a σ-based check yet still produces a subnormal divisor for z, turning
+    // EI into ±inf·0 noise. Anything below 1e-18 (σ < 1e-9, ten orders
+    // under the posterior's 1e-12 variance floor) deterministically takes
+    // the zero-variance branch instead.
+    let variance = variance.max(0.0);
+    if variance < 1e-18 {
         return (best - mean - xi).max(0.0);
     }
+    let sigma = variance.sqrt();
     let improvement = best - mean - xi;
     let z = improvement / sigma;
     (improvement * normal_cdf(z) + sigma * normal_pdf(z)).max(0.0)
@@ -92,6 +98,25 @@ mod tests {
                 assert!(expected_improvement(mean, var, 10.0, 0.01) >= 0.0);
             }
         }
+    }
+
+    #[test]
+    fn tiny_variance_routes_through_zero_variance_branch() {
+        // σ² = 0 and σ² = 1e-300 (subnormal σ territory) must hit the
+        // deterministic branch: EI is exactly the clamped improvement.
+        for var in [0.0, 1e-300] {
+            assert_eq!(expected_improvement(8.0, var, 10.0, 0.5), 1.5);
+            assert_eq!(expected_improvement(12.0, var, 10.0, 0.0), 0.0);
+        }
+        // Negative variance (floating-point cancellation upstream) clamps
+        // into the same branch rather than producing NaN.
+        assert_eq!(expected_improvement(8.0, -1e-9, 10.0, 0.0), 2.0);
+        // σ² = 1e-18 sits exactly on the threshold: the analytic branch,
+        // with σ = 1e-9 still a normal double, and a finite result that the
+        // deterministic branch bounds from below.
+        let at_threshold = expected_improvement(8.0, 1e-18, 10.0, 0.0);
+        assert!(at_threshold.is_finite());
+        assert!((at_threshold - 2.0).abs() < 1e-9, "{at_threshold}");
     }
 
     #[test]

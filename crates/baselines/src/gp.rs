@@ -5,8 +5,35 @@
 //! in the same `[1, 20]` range — the same normalization NoStop uses), so a
 //! single isotropic length scale is appropriate. Targets are centered; the
 //! posterior reverts to the prior mean away from data.
+//!
+//! # Fast path
+//!
+//! Because the Gram matrix depends only on the inputs, adding an
+//! observation only *borders* `K + σ_n² I` with one new column — so
+//! [`GaussianProcess::add`] extends the existing Cholesky factor with a
+//! single forward solve plus diagonal update
+//! ([`Matrix::extend_cholesky`], O(n²)) instead of refactoring from
+//! scratch (O(n³)). The new point's kernel column is computed once and
+//! reused for both the factor extension and the Gram border (kernel-row
+//! cache). `alpha` *is* re-solved every add — recentering the targets
+//! shifts every entry of `y − ȳ` — but that is two triangular solves,
+//! still O(n²).
+//!
+//! Setting `NOSTOP_NO_GP_INCREMENTAL=1` (or
+//! [`GaussianProcess::with_incremental`]`(false)`) routes every add
+//! through the full-refit probe path. The two paths share `linalg`'s
+//! single dot kernel, making their factors — and therefore posteriors —
+//! bitwise identical; the differential suite in
+//! `crates/baselines/tests/gp_differential.rs` pins this.
 
-use crate::linalg::{cholesky_solve, dot, solve_lower, Matrix};
+use crate::linalg::{cholesky_solve_into, dot, solve_lower_in_place, solve_lower_multi, Matrix};
+
+/// True when the `NOSTOP_NO_GP_INCREMENTAL=1` kill switch is set — new GPs
+/// then fit via the full O(n³) refit path so CI can differentially compare
+/// it against the incremental path.
+fn incremental_disabled_by_env() -> bool {
+    std::env::var_os("NOSTOP_NO_GP_INCREMENTAL").is_some_and(|v| v == "1")
+}
 
 /// RBF (squared-exponential) kernel hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,10 +71,19 @@ pub struct GaussianProcess {
     x: Vec<Vec<f64>>,
     y: Vec<f64>,
     y_mean: f64,
-    /// Cholesky factor of `K + σ_n² I`.
-    chol: Option<Matrix>,
+    /// Cholesky factor of `K + (σ_n² + jitter) I`; dimension `x.len()`.
+    chol: Matrix,
     /// `(K + σ_n² I)⁻¹ (y − ȳ)`.
     alpha: Vec<f64>,
+    /// Incremental rank-1 factor updates (default) vs full refit (probe).
+    incremental: bool,
+    /// Kernel-row cache: the newest point's kernel column, computed once
+    /// per add and fed straight into the factor extension.
+    kcol: Vec<f64>,
+    /// Scratch: centered targets, reused across fits.
+    centered: Vec<f64>,
+    /// Scratch: Gram matrix for the full-refit probe path.
+    gram: Matrix,
 }
 
 impl GaussianProcess {
@@ -58,9 +94,25 @@ impl GaussianProcess {
             x: Vec::new(),
             y: Vec::new(),
             y_mean: 0.0,
-            chol: None,
+            chol: Matrix::zeros(0),
             alpha: Vec::new(),
+            incremental: !incremental_disabled_by_env(),
+            kcol: Vec::new(),
+            centered: Vec::new(),
+            gram: Matrix::zeros(0),
         }
+    }
+
+    /// Select the fitting path explicitly (tests, benches, probes). The
+    /// fitted model is bitwise identical either way; only the cost differs.
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
+    }
+
+    /// Whether adds go through the incremental fast path.
+    pub fn is_incremental(&self) -> bool {
+        self.incremental
     }
 
     /// Number of observations.
@@ -83,50 +135,115 @@ impl GaussianProcess {
         })
     }
 
+    fn jitter(&self) -> f64 {
+        1e-8 * self.kernel.signal_variance.max(1.0)
+    }
+
     /// Add an observation and refit.
     pub fn add(&mut self, x: Vec<f64>, y: f64) {
         assert!(y.is_finite(), "target must be finite");
         if let Some(first) = self.x.first() {
             assert_eq!(first.len(), x.len(), "dimension mismatch");
         }
-        self.x.push(x);
-        self.y.push(y);
-        self.refit();
+        if self.incremental {
+            // Kernel-row cache: the new point's column, computed once.
+            self.kcol.clear();
+            for xi in &self.x {
+                self.kcol.push(self.kernel.eval(xi, &x));
+            }
+            let diag = self.kernel.eval(&x, &x) + self.kernel.noise_variance + self.jitter();
+            self.chol.reserve(self.x.len() + 1);
+            if !self.chol.extend_cholesky(&self.kcol, diag) {
+                panic!("kernel matrix with noise must be positive definite");
+            }
+            self.x.push(x);
+            self.y.push(y);
+            self.resolve_alpha();
+        } else {
+            self.x.push(x);
+            self.y.push(y);
+            self.refit();
+        }
     }
 
-    fn refit(&mut self) {
+    /// Recenter the targets and re-solve `alpha` from the current factor.
+    fn resolve_alpha(&mut self) {
         let n = self.x.len();
         self.y_mean = self.y.iter().sum::<f64>() / n as f64;
-        let centered: Vec<f64> = self.y.iter().map(|v| v - self.y_mean).collect();
-        // Build K + σ_n² I with a small jitter for numerical safety.
-        let jitter = 1e-8 * self.kernel.signal_variance.max(1.0);
-        let k = Matrix::from_fn(n, |i, j| {
-            self.kernel.eval(&self.x[i], &self.x[j])
-                + if i == j {
-                    self.kernel.noise_variance + jitter
-                } else {
-                    0.0
-                }
-        });
-        let chol = k
-            .cholesky()
-            .expect("kernel matrix with noise must be positive definite");
-        self.alpha = cholesky_solve(&chol, &centered);
-        self.chol = Some(chol);
+        let y_mean = self.y_mean;
+        self.centered.clear();
+        self.centered.extend(self.y.iter().map(|v| v - y_mean));
+        cholesky_solve_into(&self.chol, &self.centered, &mut self.alpha);
+    }
+
+    /// Probe path: rebuild the full Gram matrix and refactor from scratch
+    /// into reused scratch storage.
+    fn refit(&mut self) {
+        let n = self.x.len();
+        let jitter = self.jitter();
+        self.gram.n = n;
+        self.gram.data.clear();
+        self.gram.data.resize(n * n, 0.0);
+        for (i, xi) in self.x.iter().enumerate() {
+            for (j, xj) in self.x.iter().enumerate() {
+                self.gram.data[i * n + j] = self.kernel.eval(xi, xj)
+                    + if i == j {
+                        self.kernel.noise_variance + jitter
+                    } else {
+                        0.0
+                    };
+            }
+        }
+        if !self.gram.cholesky_into(&mut self.chol) {
+            panic!("kernel matrix with noise must be positive definite");
+        }
+        self.resolve_alpha();
     }
 
     /// Posterior mean and variance at `x`.
     ///
     /// With no observations this is the prior: `(0-centered mean, σ_f²)`.
     pub fn posterior(&self, x: &[f64]) -> (f64, f64) {
-        let Some(chol) = &self.chol else {
+        if self.x.is_empty() {
             return (self.y_mean, self.kernel.signal_variance);
-        };
+        }
         let k_star: Vec<f64> = self.x.iter().map(|xi| self.kernel.eval(xi, x)).collect();
         let mean = self.y_mean + dot(&k_star, &self.alpha);
-        let v = solve_lower(chol, &k_star);
+        let mut v = k_star;
+        solve_lower_in_place(&self.chol, &mut v);
         let var = (self.kernel.eval(x, x) - dot(&v, &v)).max(1e-12);
         (mean, var)
+    }
+
+    /// Posterior mean and variance at every candidate, sharing one
+    /// multi-RHS forward-solve sweep over the factor instead of one
+    /// triangular solve per candidate. Bitwise identical to calling
+    /// [`GaussianProcess::posterior`] per point.
+    pub fn posterior_batch(&self, xs: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        if self.x.is_empty() {
+            return xs
+                .iter()
+                .map(|_| (self.y_mean, self.kernel.signal_variance))
+                .collect();
+        }
+        let n = self.x.len();
+        let count = xs.len();
+        // Candidate-major block of k* columns.
+        let mut work = vec![0.0; count * n];
+        for (block, xc) in work.chunks_exact_mut(n).zip(xs) {
+            for (slot, xi) in block.iter_mut().zip(&self.x) {
+                *slot = self.kernel.eval(xi, xc);
+            }
+        }
+        let mut out: Vec<(f64, f64)> = work
+            .chunks_exact(n)
+            .map(|k_star| (self.y_mean + dot(k_star, &self.alpha), 0.0))
+            .collect();
+        solve_lower_multi(&self.chol, &mut work, count);
+        for ((post, v), xc) in out.iter_mut().zip(work.chunks_exact(n)).zip(xs) {
+            post.1 = (self.kernel.eval(xc, xc) - dot(v, v)).max(1e-12);
+        }
+        out
     }
 }
 
@@ -203,6 +320,50 @@ mod tests {
         let (m_opt, _) = gp.posterior(&[10.0, 10.0]);
         let (m_edge, _) = gp.posterior(&[1.0, 10.0]);
         assert!(m_opt < m_edge);
+    }
+
+    #[test]
+    fn incremental_and_refit_posteriors_are_bitwise_identical() {
+        let mut fast = GaussianProcess::new(Kernel::default()).with_incremental(true);
+        let mut probe = GaussianProcess::new(Kernel::default()).with_incremental(false);
+        for i in 0..40 {
+            let x = vec![(i % 13) as f64 + 1.0, (i % 7) as f64 * 2.0 + 1.0];
+            let y = (x[0] - 6.0).powi(2) * 0.3 + x[1] * 0.1;
+            fast.add(x.clone(), y);
+            probe.add(x, y);
+            let q = [i as f64 * 0.4 + 1.0, 10.0];
+            let (mf, vf) = fast.posterior(&q);
+            let (mp, vp) = probe.posterior(&q);
+            assert_eq!(mf.to_bits(), mp.to_bits(), "mean at add {i}");
+            assert_eq!(vf.to_bits(), vp.to_bits(), "variance at add {i}");
+        }
+    }
+
+    #[test]
+    fn posterior_batch_matches_per_point_bitwise() {
+        let gp = gp_with(&[
+            (&[1.0, 2.0], 3.0),
+            (&[5.0, 5.0], 7.0),
+            (&[9.0, 2.0], 1.0),
+            (&[3.0, 8.0], 4.0),
+        ]);
+        let cands: Vec<Vec<f64>> = (0..32)
+            .map(|i| vec![1.0 + (i % 9) as f64, 1.0 + (i % 5) as f64 * 3.0])
+            .collect();
+        let batch = gp.posterior_batch(&cands);
+        assert_eq!(batch.len(), cands.len());
+        for (c, got) in cands.iter().zip(&batch) {
+            let want = gp.posterior(c);
+            assert_eq!(got.0.to_bits(), want.0.to_bits());
+            assert_eq!(got.1.to_bits(), want.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn posterior_batch_on_empty_gp_returns_prior() {
+        let gp = GaussianProcess::new(Kernel::default());
+        let batch = gp.posterior_batch(&[vec![1.0], vec![2.0]]);
+        assert_eq!(batch, vec![(0.0, 25.0), (0.0, 25.0)]);
     }
 
     #[test]

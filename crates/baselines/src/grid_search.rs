@@ -29,6 +29,23 @@ impl GridSearch {
         }
     }
 
+    /// The densest lattice whose point count fits an evaluation budget —
+    /// at least 2 levels per dimension even when that already exceeds the
+    /// budget, which is exactly how grid search becomes infeasible as
+    /// dimensionality grows (a 2-level lattice at dim 8 is already 256
+    /// points).
+    pub fn auto(space: ConfigSpace, budget: usize) -> Self {
+        let dim = space.dim() as u32;
+        let mut levels = 2usize;
+        while (levels + 1)
+            .checked_pow(dim)
+            .is_some_and(|total| total <= budget)
+        {
+            levels += 1;
+        }
+        GridSearch::new(space, levels)
+    }
+
     /// Total number of grid points.
     pub fn total_points(&self) -> usize {
         self.points_per_dim.pow(self.space.dim() as u32)
@@ -118,6 +135,17 @@ mod tests {
         let (cfg, _) = gs.best().unwrap();
         assert!((cfg[0] - 20.0).abs() <= 3.0, "{cfg:?}");
         assert!((cfg[1] - 10.0).abs() <= 2.0, "{cfg:?}");
+    }
+
+    #[test]
+    fn auto_sizes_lattice_to_budget() {
+        // Dim 2, budget 48: 6 levels (36 pts) fit, 7 (49) would not.
+        let g2 = GridSearch::auto(ConfigSpace::paper_default(), 48);
+        assert_eq!(g2.total_points(), 36);
+        // Dim 8: even the minimum 2-level lattice (256 pts) blows the
+        // budget — grid search is structurally infeasible here.
+        let g8 = GridSearch::auto(ConfigSpace::extended(), 48);
+        assert_eq!(g8.total_points(), 256);
     }
 
     #[test]

@@ -25,10 +25,12 @@ pub mod gp;
 pub mod grid_search;
 pub mod linalg;
 pub mod random_search;
+pub mod spsa_tuner;
 pub mod tuner;
 
 pub use backpressure::PidRateEstimator;
 pub use bayesopt::BayesOpt;
 pub use grid_search::GridSearch;
 pub use random_search::RandomSearch;
+pub use spsa_tuner::SpsaTuner;
 pub use tuner::Tuner;

@@ -1,0 +1,185 @@
+//! SPSA behind the common [`Tuner`] interface.
+//!
+//! The live NoStop controller drives [`Spsa`] through its own two-phase
+//! measurement protocol (pause rules, rate-shift resets). The tuner arena
+//! instead needs SPSA as *just another* propose → observe method so every
+//! contender pays the identical per-evaluation cost. This adapter unrolls
+//! each SPSA iteration across two propose/observe round-trips: the first
+//! returns `θ⁺`, the second `θ⁻`, and the second observation completes the
+//! gradient step. `evaluations()` therefore counts measurements, not
+//! iterations — the same currency the other tuners report.
+
+use crate::tuner::{BestTracker, Tuner};
+use nostop_core::sa::spsa::{Proposal, Spsa, SpsaParams};
+use nostop_core::space::ConfigSpace;
+use nostop_simcore::SimRng;
+
+/// One in-flight SPSA iteration, split across two observations.
+struct PendingIteration {
+    proposal: Proposal,
+    y_plus: Option<f64>,
+}
+
+/// SPSA as a budget-driven [`Tuner`] over a [`ConfigSpace`].
+pub struct SpsaTuner {
+    space: ConfigSpace,
+    spsa: Spsa,
+    tracker: BestTracker,
+    pending: Option<PendingIteration>,
+}
+
+impl SpsaTuner {
+    /// Paper-default gains over `space`, starting from the scaled midpoint.
+    pub fn new(space: ConfigSpace, seed: u64) -> Self {
+        let spsa = Spsa::new(
+            SpsaParams::paper_default(space.dim()),
+            space.scaled_midpoint(),
+            SimRng::seed_from_u64(seed),
+        );
+        SpsaTuner {
+            space,
+            spsa,
+            tracker: BestTracker::default(),
+            pending: None,
+        }
+    }
+
+    /// The current (scaled) iterate, for inspection.
+    pub fn theta(&self) -> &[f64] {
+        self.spsa.theta()
+    }
+}
+
+impl Tuner for SpsaTuner {
+    fn name(&self) -> &'static str {
+        "spsa"
+    }
+
+    fn propose(&mut self) -> Vec<f64> {
+        match &self.pending {
+            // First half of the iteration (or a re-ask before observing).
+            None => {
+                let proposal = self.spsa.propose();
+                let physical = self.space.to_physical(&proposal.theta_plus);
+                self.pending = Some(PendingIteration {
+                    proposal,
+                    y_plus: None,
+                });
+                physical
+            }
+            Some(p) if p.y_plus.is_none() => self.space.to_physical(&p.proposal.theta_plus),
+            Some(p) => self.space.to_physical(&p.proposal.theta_minus),
+        }
+    }
+
+    fn observe(&mut self, physical: &[f64], objective: f64) {
+        self.tracker.observe(physical, objective);
+        let Some(mut p) = self.pending.take() else {
+            return; // unsolicited observation: tracked, but no iteration open
+        };
+        if !objective.is_finite() {
+            // A poisoned measurement abandons the whole iteration —
+            // `Spsa::update` (correctly) refuses non-finite objectives, and
+            // a gradient from half-garbage would be worse than no step.
+            return;
+        }
+        match p.y_plus {
+            None => {
+                p.y_plus = Some(objective);
+                self.pending = Some(p);
+            }
+            Some(y_plus) => {
+                self.spsa.update(&p.proposal, y_plus, objective);
+            }
+        }
+    }
+
+    fn best(&self) -> Option<(Vec<f64>, f64)> {
+        self.tracker.best()
+    }
+
+    fn evaluations(&self) -> usize {
+        self.tracker.evaluations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive<F: FnMut(&[f64]) -> f64>(tuner: &mut SpsaTuner, evals: usize, mut f: F) {
+        for _ in 0..evals {
+            let p = tuner.propose();
+            let y = f(&p);
+            tuner.observe(&p, y);
+        }
+    }
+
+    #[test]
+    fn converges_on_quadratic_via_tuner_interface() {
+        let mut t = SpsaTuner::new(ConfigSpace::paper_default(), 17);
+        drive(&mut t, 120, |p| {
+            (p[0] - 8.0).powi(2) / 10.0 + (p[1] - 16.0).powi(2) / 20.0
+        });
+        let (cfg, _) = t.best().expect("observed");
+        assert!((cfg[0] - 8.0).abs() < 6.0, "{cfg:?}");
+        assert!((cfg[1] - 16.0).abs() < 8.0, "{cfg:?}");
+        assert_eq!(t.evaluations(), 120);
+    }
+
+    #[test]
+    fn alternates_plus_and_minus_points() {
+        let mut t = SpsaTuner::new(ConfigSpace::paper_default(), 3);
+        let plus = t.propose();
+        t.observe(&plus, 1.0);
+        let minus = t.propose();
+        assert_ne!(plus, minus, "second half probes the opposite perturbation");
+        t.observe(&minus, 2.0);
+        // Iteration complete: the optimizer stepped.
+        assert_eq!(t.spsa.k(), 1);
+    }
+
+    #[test]
+    fn repeated_propose_before_observe_is_stable() {
+        let mut t = SpsaTuner::new(ConfigSpace::paper_default(), 5);
+        let a = t.propose();
+        let b = t.propose();
+        assert_eq!(a, b, "re-asking without observing must not draw new RNG");
+    }
+
+    #[test]
+    fn non_finite_objective_abandons_the_iteration() {
+        let mut t = SpsaTuner::new(ConfigSpace::paper_default(), 7);
+        let p = t.propose();
+        t.observe(&p, f64::NAN);
+        assert_eq!(t.spsa.k(), 0, "no step from a poisoned measurement");
+        // The next propose starts a fresh iteration and the tuner still works.
+        drive(&mut t, 10, |p| p[0] + p[1]);
+        assert!(t.best().is_some());
+    }
+
+    #[test]
+    fn works_at_dimension_eight() {
+        let mut t = SpsaTuner::new(ConfigSpace::extended(), 23);
+        drive(&mut t, 40, |p| p.iter().map(|v| (v - 5.0).powi(2)).sum());
+        assert_eq!(t.evaluations(), 40);
+        assert_eq!(t.spsa.k(), 20, "two evaluations per iteration");
+        let (cfg, _) = t.best().unwrap();
+        assert_eq!(cfg.len(), 8);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut t = SpsaTuner::new(ConfigSpace::extended(), 42);
+            let mut seen = Vec::new();
+            for i in 0..30 {
+                let p = t.propose();
+                t.observe(&p, p[0] * 0.3 + p[2] * 0.01 + (i % 4) as f64);
+                seen.push(p);
+            }
+            seen
+        };
+        assert_eq!(run(), run());
+    }
+}

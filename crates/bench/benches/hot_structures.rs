@@ -336,6 +336,79 @@ fn bench_fleet_fastpath(c: &mut Criterion) {
     group.finish();
 }
 
+/// The incremental GP fast path against the O(n³) refit probe: one `add`
+/// into a GP already holding `n` observations, plus the batched posterior
+/// sweep BayesOpt runs per proposal. The two arms produce bitwise-
+/// identical models (pinned by `tests/gp_differential.rs`); only the cost
+/// differs — the ISSUE gate is incremental ≥5× at n = 256.
+fn bench_gp_fast_path(c: &mut Criterion) {
+    use criterion::BatchSize;
+    use nostop_baselines::gp::{GaussianProcess, Kernel};
+
+    let make_points = |count: usize, seed: u64| -> Vec<(Vec<f64>, f64)> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let x: Vec<f64> = (0..8).map(|_| rng.uniform(1.0, 20.0)).collect();
+                let y = rng.uniform(-10.0, 10.0);
+                (x, y)
+            })
+            .collect()
+    };
+    let seeded_gp = |n: usize, incremental: bool| -> GaussianProcess {
+        let mut gp = GaussianProcess::new(Kernel::default()).with_incremental(incremental);
+        for (x, y) in make_points(n, 17) {
+            gp.add(x, y);
+        }
+        gp
+    };
+
+    for n in [64usize, 256] {
+        let (next_x, next_y) = make_points(1, 99).pop().expect("one point");
+        let mut group = c.benchmark_group(format!("gp_add_{n}"));
+        group.throughput(Throughput::Elements(1));
+        for (label, incremental) in [("incremental", true), ("refit", false)] {
+            let base = seeded_gp(n, incremental);
+            group.bench_function(label, |b| {
+                b.iter_batched(
+                    || base.clone(),
+                    |mut gp| {
+                        gp.add(next_x.clone(), next_y);
+                        black_box(gp.len())
+                    },
+                    BatchSize::SmallInput,
+                );
+            });
+        }
+        group.finish();
+    }
+
+    // The per-proposal scoring sweep: 128 candidates through one batched
+    // forward-solve pass vs 128 independent posterior calls.
+    const CANDIDATES: usize = 128;
+    let gp = seeded_gp(256, true);
+    let cands: Vec<Vec<f64>> = make_points(CANDIDATES, 23)
+        .into_iter()
+        .map(|(x, _)| x)
+        .collect();
+    let mut group = c.benchmark_group("gp_posterior_128");
+    group.throughput(Throughput::Elements(CANDIDATES as u64));
+    group.bench_function("batched", |b| {
+        b.iter(|| black_box(gp.posterior_batch(&cands)));
+    });
+    group.bench_function("per_point", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for cand in &cands {
+                let (m, v) = gp.posterior(cand);
+                acc += m + v;
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
@@ -344,6 +417,7 @@ criterion_group!(
     bench_json_boundary,
     bench_superbatch_kernel,
     bench_superbatch_job,
-    bench_fleet_fastpath
+    bench_fleet_fastpath,
+    bench_gp_fast_path
 );
 criterion_main!(benches);

@@ -15,6 +15,10 @@
 //!    shows ~1× (the fabric's value there is the byte-identity contract,
 //!    not throughput).
 //!
+//! Plus two single-cell rows: the incremental GP surrogate fit
+//! (`gp_fit_256`, the tuner arena's steady state) and the steady
+//! multi-tenant fleet.
+//!
 //! Also records the peak RSS (`VmHWM` from `/proc/self/status`, a proxy
 //! for the bounded-listener memory guarantee) and the worker counts.
 //! Non-deterministic by construction (it measures wall time); everything
@@ -222,6 +226,61 @@ fn best_fleet_cell(repeats: usize) -> (u64, f64) {
     best.expect("at least one repeat")
 }
 
+/// GP smoke cell: observations in the incremental fit (the tuner arena's
+/// surrogate at full budget ×~5).
+const GP_OBSERVATIONS: usize = 256;
+const GP_DIM: usize = 8;
+
+/// One GP cell: fit a [`GP_OBSERVATIONS`]-point surrogate through the
+/// incremental add path (the BayesOpt steady state) and return a
+/// posterior checksum that pins the work and lets repeats assert they
+/// fitted the same model.
+fn run_gp_cell() -> f64 {
+    use nostop_baselines::gp::{GaussianProcess, Kernel};
+    let mut rng = nostop_simcore::SimRng::seed_from_u64(29);
+    let mut gp = GaussianProcess::new(Kernel::default()).with_incremental(true);
+    for _ in 0..GP_OBSERVATIONS {
+        let x: Vec<f64> = (0..GP_DIM).map(|_| rng.uniform(1.0, 20.0)).collect();
+        let y = rng.uniform(-10.0, 10.0);
+        gp.add(x, y);
+    }
+    let (m, v) = gp.posterior(&[10.5; GP_DIM]);
+    m + v
+}
+
+/// Best-of-`repeats` GP cell: `(checksum, best_wall_ms)`.
+fn best_gp_cell(repeats: usize) -> (f64, f64) {
+    let mut best: Option<(f64, f64)> = None;
+    for _ in 0..repeats {
+        let (check, wall) = time_ms(run_gp_cell);
+        if let Some((prev, _)) = best {
+            assert_eq!(
+                prev.to_bits(),
+                check.to_bits(),
+                "gp cell checksum changed between repeats"
+            );
+        }
+        if best.map(|(_, w)| wall < w).unwrap_or(true) {
+            best = Some((check, wall));
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+/// Find the committed `gp_adds_per_s` for the `gp_fit_256` smoke row.
+fn gp_baseline(committed: &Json) -> Result<f64, String> {
+    let gp = committed
+        .get("gp_fit_256")
+        .ok_or_else(|| "no committed gp_fit_256 section".to_string())?;
+    match gp.field_f64("gp_adds_per_s") {
+        Ok(aps) if aps > 0.0 && aps.is_finite() => Ok(aps),
+        Ok(aps) => Err(format!(
+            "gp_adds_per_s = {aps} (must be a positive finite number)"
+        )),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
 /// Find the committed `fleet_epochs_per_s` for the fleet smoke row.
 fn fleet_baseline(committed: &Json) -> Result<f64, String> {
     let fleet = committed
@@ -317,6 +376,28 @@ fn smoke(path: &str) -> i32 {
             "smoke {:<22} {SCALE_TENANTS:>3}t x{SCALE_EPOCHS:<4} {eps:>9.1} ep/s  skipped={skipped} ok",
             "fleet(2000 steady)"
         );
+    }
+    // GP smoke row: the incremental surrogate fit. Same floor, same
+    // stale-vs-slow distinction — a missing gp_fit_256 section is a
+    // stale report, not a regression, and still fails hard.
+    match gp_baseline(&committed) {
+        Ok(base_aps) => {
+            let (_, wall) = best_gp_cell(repeats);
+            let aps = GP_OBSERVATIONS as f64 / (wall / 1e3);
+            let ratio = aps / base_aps;
+            let verdict = if ratio >= SMOKE_FLOOR { "ok" } else { "FAIL" };
+            println!(
+                "smoke {:<22} {GP_OBSERVATIONS:>3}obs dim{GP_DIM} {aps:>9.0} add/s vs {base_aps:>9.0} committed  ({ratio:.2}x) {verdict}",
+                "gp_fit_256"
+            );
+            if ratio < SMOKE_FLOOR {
+                regressed += 1;
+            }
+        }
+        Err(e) => {
+            eprintln!("smoke: gp_fit_256 cell: {e} — regenerate {path} with `perf_report`");
+            unusable += 1;
+        }
     }
     // Fleet smoke row: same floor, same stale-vs-slow distinction as the
     // engine cells — a missing fleet section is a stale report, not a
@@ -447,7 +528,20 @@ fn main() {
         ]));
     }
 
-    // --- Layer 3: fleet cell, single-threaded, best-of-N ---
+    // --- Layer 3: GP surrogate fit, single-threaded, best-of-N ---
+    let (gp_check, gp_wall) = best_gp_cell(repeats);
+    let gp_row = json::obj(vec![
+        ("observations", json::uint(GP_OBSERVATIONS as u64)),
+        ("dim", json::uint(GP_DIM as u64)),
+        ("wall_ms", json::num(gp_wall)),
+        (
+            "gp_adds_per_s",
+            json::num(GP_OBSERVATIONS as f64 / (gp_wall / 1e3)),
+        ),
+        ("posterior_check", json::num(gp_check)),
+    ]);
+
+    // --- Layer 4: fleet cell, single-threaded, best-of-N ---
     let (fleet_digest, fleet_wall) = best_fleet_cell(repeats);
     let fleet_row = json::obj(vec![
         ("tenants", json::uint(FLEET_TENANTS as u64)),
@@ -469,6 +563,7 @@ fn main() {
         ("engine_repeats", json::uint(repeats as u64)),
         ("engine_matrix", Json::Arr(engine_rows)),
         ("driver_grids", Json::Arr(driver_rows)),
+        ("gp_fit_256", gp_row),
         ("fleet", fleet_row),
         (
             "peak_rss_kb",

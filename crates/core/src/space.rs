@@ -85,6 +85,30 @@ impl ConfigSpace {
         )
     }
 
+    /// The extended 8-knob space for high-dimensional tuning (ROADMAP open
+    /// item 1): the paper's two parameters followed by six further
+    /// Spark-meaningful knobs, all mapped onto simulator mechanics by
+    /// `spark-sim`'s `ExtendedConfig`. Dimension order is a stable
+    /// contract — index 0/1 must stay batch interval/executors so the
+    /// 2-knob controller and the extended arena share one physical-vector
+    /// convention (`StreamConfig::from_physical` reads a prefix of it).
+    pub fn extended() -> Self {
+        ConfigSpace::new(
+            vec![
+                ParamSpec::new("batch-interval-s", 1.0, 40.0, 0.1),
+                ParamSpec::new("num-executors", 1.0, 20.0, 1.0),
+                ParamSpec::new("shuffle-partitions", 8.0, 256.0, 8.0),
+                ParamSpec::new("memory-fraction", 0.2, 0.9, 0.05),
+                ParamSpec::new("receiver-parallelism", 1.0, 8.0, 1.0),
+                ParamSpec::new("block-interval-ms", 50.0, 1000.0, 50.0),
+                ParamSpec::new("locality-wait-s", 0.0, 10.0, 0.5),
+                ParamSpec::new("speculation-threshold", 1.1, 3.0, 0.1),
+            ],
+            1.0,
+            20.0,
+        )
+    }
+
     /// Number of tunable dimensions.
     pub fn dim(&self) -> usize {
         self.params.len()
@@ -155,6 +179,26 @@ mod tests {
         assert_eq!(s.scaled_midpoint(), vec![10.5, 10.5]);
         assert_eq!(s.params[0].name, "batch-interval-s");
         assert_eq!(s.params[1].name, "num-executors");
+    }
+
+    #[test]
+    fn extended_space_shape() {
+        let s = ConfigSpace::extended();
+        assert_eq!(s.dim(), 8);
+        // The paper's two knobs stay at the front, with identical ranges.
+        let paper = ConfigSpace::paper_default();
+        assert_eq!(s.params[0], paper.params[0]);
+        assert_eq!(s.params[1], paper.params[1]);
+        // Every knob round-trips through scaling at its endpoints.
+        let mins: Vec<f64> = s.params.iter().map(|p| p.min).collect();
+        let maxs: Vec<f64> = s.params.iter().map(|p| p.max).collect();
+        assert_eq!(s.to_physical(&s.to_scaled(&mins)), mins);
+        assert_eq!(s.to_physical(&s.to_scaled(&maxs)), maxs);
+        // Quantization respects each knob's grid at the midpoint.
+        let mid = s.to_physical(&s.scaled_midpoint());
+        assert_eq!(mid[2] % 8.0, 0.0, "shuffle partitions on the grid");
+        assert_eq!(mid[4].fract(), 0.0, "receiver parallelism integral");
+        assert_eq!(mid[5] % 50.0, 0.0, "block interval on the grid");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! serialized to a [`StatusReport`] (what a real listener would POST) and
 //! parsed back before reaching the controller.
 
-use crate::config::StreamConfig;
+use crate::config::{ExtendedConfig, StreamConfig};
 use crate::engine::StreamingEngine;
 use nostop_core::listener::StatusReport;
 use nostop_core::system::{BatchObservation, StreamingSystem};
@@ -51,8 +51,16 @@ impl SimSystem {
 
 impl StreamingSystem for SimSystem {
     fn apply_config(&mut self, physical: &[f64]) {
-        self.engine
-            .apply_config(StreamConfig::from_physical(physical));
+        // The vector length selects the surface: the paper's 2-knob
+        // controller sends `[interval, executors]`; the tuner arena sends
+        // the full `ConfigSpace::extended()` vector.
+        if physical.len() >= 8 {
+            self.engine
+                .apply_extended_config(&ExtendedConfig::from_physical(physical));
+        } else {
+            self.engine
+                .apply_config(StreamConfig::from_physical(physical));
+        }
     }
 
     fn next_batch(&mut self) -> BatchObservation {
@@ -122,6 +130,36 @@ mod tests {
         }
         assert!(seen, "new interval must take effect");
         assert_eq!(s.engine().config().num_executors, 16);
+    }
+
+    #[test]
+    fn extended_config_reaches_engine_mechanics() {
+        let mut s = system(7);
+        s.next_batch();
+        s.apply_config(&[25.0, 16.0, 128.0, 0.4, 2.0, 400.0, 5.0, 2.0]);
+        for _ in 0..5 {
+            if s.next_batch().interval_s == 25.0 {
+                break;
+            }
+        }
+        let engine = s.engine();
+        assert_eq!(engine.config().num_executors, 16);
+        // The real mechanics were retargeted...
+        assert_eq!(
+            engine.params().block_interval,
+            SimDuration::from_millis(400)
+        );
+        assert_eq!(
+            engine.params().speculation.map(|sp| sp.multiplier),
+            Some(2.0)
+        );
+        // ...and a narrow 2-knob reconfiguration afterwards keeps the
+        // overlay in force (it only re-derives on extended applies).
+        s.apply_config(&[20.0, 12.0]);
+        assert_eq!(
+            s.engine().params().block_interval,
+            SimDuration::from_millis(400)
+        );
     }
 
     #[test]

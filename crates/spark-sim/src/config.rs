@@ -1,6 +1,18 @@
 //! The runtime-tunable streaming configuration.
+//!
+//! [`StreamConfig`] is the paper's 2-knob surface. [`ExtendedConfig`] is
+//! the 8-knob surface for the high-dimensional tuner arena
+//! (`ConfigSpace::extended()` in `nostop-core`): the same two live knobs
+//! plus six further Spark-meaningful parameters, each mapped onto a
+//! simulator mechanic. Block interval and speculation threshold drive real
+//! engine machinery (`tasks_for`, the straggler-capping pass); shuffle
+//! partitions, memory fraction, receiver parallelism, and locality wait
+//! act through a deterministic [`CostModel`] overlay derived fresh from
+//! the workload preset on every apply (never compounded), with interior
+//! optima so the extra dimensions are worth searching.
 
 use nostop_simcore::SimDuration;
+use nostop_workloads::CostModel;
 
 /// The two parameters NoStop tunes (§3.2): batch interval and executor
 /// count. Both are changeable while the application runs — batch interval
@@ -51,6 +63,85 @@ impl StreamConfig {
     }
 }
 
+/// The extended 8-knob configuration (see module docs). Field order
+/// mirrors `ConfigSpace::extended()`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtendedConfig {
+    /// The paper's two knobs (batch interval, executors).
+    pub stream: StreamConfig,
+    /// `spark.sql.shuffle.partitions` ∈ [8, 256].
+    pub shuffle_partitions: u32,
+    /// `spark.memory.fraction` ∈ [0.2, 0.9].
+    pub memory_fraction: f64,
+    /// Parallel receiver count ∈ [1, 8].
+    pub receiver_parallelism: u32,
+    /// `spark.streaming.blockInterval` ∈ [50 ms, 1 s] — drives the real
+    /// task-count mechanic (`tasks_for`).
+    pub block_interval: SimDuration,
+    /// `spark.locality.wait` ∈ [0, 10] s.
+    pub locality_wait: SimDuration,
+    /// `spark.speculation.multiplier` ∈ [1.1, 3.0] — drives the real
+    /// straggler-capping pass in the scheduler.
+    pub speculation_multiplier: f64,
+}
+
+impl ExtendedConfig {
+    /// From the 8-entry physical vector `ConfigSpace::extended()` emits.
+    /// Values are clamped into their knob ranges, so un-quantized vectors
+    /// are tolerated.
+    pub fn from_physical(physical: &[f64]) -> Self {
+        assert!(
+            physical.len() >= 8,
+            "extended config needs 8 physical entries"
+        );
+        ExtendedConfig {
+            stream: StreamConfig::from_physical(physical),
+            shuffle_partitions: physical[2].round().clamp(8.0, 256.0) as u32,
+            memory_fraction: physical[3].clamp(0.2, 0.9),
+            receiver_parallelism: physical[4].round().clamp(1.0, 8.0) as u32,
+            block_interval: SimDuration::from_micros(
+                (physical[5].clamp(50.0, 1000.0) * 1e3).round() as u64,
+            ),
+            locality_wait: SimDuration::from_micros((physical[6].clamp(0.0, 10.0) * 1e6) as u64),
+            speculation_multiplier: physical[7].clamp(1.1, 3.0),
+        }
+    }
+
+    /// Derive the overlay cost model from the workload's base preset.
+    ///
+    /// Each factor is a smooth deterministic function of one knob with an
+    /// interior optimum (or a saturating trade-off), mirroring the
+    /// qualitative Spark behaviors:
+    ///
+    /// * **shuffle partitions** — too few spill (per-record cost rises
+    ///   toward small `p`), too many pay DAG/scheduler bookkeeping
+    ///   (stage overhead rises past ~64);
+    /// * **memory fraction** — below ~0.6 execution memory starves and
+    ///   spills; above ~0.75 cache/GC pressure creeps in;
+    /// * **receiver parallelism** — more receivers overlap ingestion
+    ///   (per-record cost falls in `1/r`) but add per-batch coordination;
+    /// * **locality wait** — waiting longer converts remote reads into
+    ///   local ones (per-record cost falls in `1/(1+w)`) at the price of
+    ///   task-launch latency.
+    pub fn derive_cost(&self, base: &CostModel) -> CostModel {
+        let mut cost = base.clone();
+        let p = self.shuffle_partitions as f64;
+        let spill_partitions = 0.25 * (64.0 / p - 1.0).max(0.0);
+        let m = self.memory_fraction;
+        let spill_memory = 0.8 * (0.6 - m).max(0.0) / 0.6 + 0.5 * (m - 0.75).max(0.0);
+        let r = self.receiver_parallelism as f64;
+        let receive = 0.15 * (1.0 / r - 0.25);
+        let w = self.locality_wait.as_secs_f64();
+        let remote_read = 0.15 / (1.0 + w);
+        cost.per_record_us *=
+            (1.0 + spill_partitions) * (1.0 + spill_memory) * (1.0 + receive) * (1.0 + remote_read);
+        cost.stage_overhead_us *= 1.0 + 0.002 * (p - 64.0).max(0.0);
+        cost.batch_overhead_us *= 1.0 + 0.05 * (r - 1.0);
+        cost.task_overhead_us *= 1.0 + 0.02 * w;
+        cost
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +171,57 @@ mod tests {
     #[should_panic(expected = "interval_s")]
     fn short_physical_vector_rejected() {
         let _ = StreamConfig::from_physical(&[1.0]);
+    }
+
+    fn extended(physical: &[f64]) -> ExtendedConfig {
+        ExtendedConfig::from_physical(physical)
+    }
+
+    const MID: [f64; 8] = [15.0, 10.0, 64.0, 0.6, 4.0, 200.0, 3.0, 1.5];
+
+    #[test]
+    fn extended_physical_parses_and_clamps() {
+        let e = extended(&MID);
+        assert_eq!(e.stream.batch_interval, SimDuration::from_secs(15));
+        assert_eq!(e.stream.num_executors, 10);
+        assert_eq!(e.shuffle_partitions, 64);
+        assert_eq!(e.memory_fraction, 0.6);
+        assert_eq!(e.receiver_parallelism, 4);
+        assert_eq!(e.block_interval, SimDuration::from_millis(200));
+        assert_eq!(e.locality_wait, SimDuration::from_secs(3));
+        assert_eq!(e.speculation_multiplier, 1.5);
+        // Out-of-range knobs clamp instead of panicking.
+        let wild = extended(&[15.0, 10.0, 9999.0, -1.0, 0.0, 5.0, 99.0, 0.0]);
+        assert_eq!(wild.shuffle_partitions, 256);
+        assert_eq!(wild.memory_fraction, 0.2);
+        assert_eq!(wild.receiver_parallelism, 1);
+        assert_eq!(wild.block_interval, SimDuration::from_millis(50));
+        assert_eq!(wild.locality_wait, SimDuration::from_secs(10));
+        assert_eq!(wild.speculation_multiplier, 1.1);
+    }
+
+    #[test]
+    fn derived_cost_has_interior_optima() {
+        use nostop_workloads::WorkloadKind;
+        let base = CostModel::preset(WorkloadKind::WordCount);
+        let at = |idx: usize, v: f64| {
+            let mut phys = MID;
+            phys[idx] = v;
+            extended(&phys).derive_cost(&base)
+        };
+        // Shuffle partitions: both extremes cost more than the middle.
+        let total = |c: &CostModel| c.per_record_us * 1e3 + c.stage_overhead_us;
+        assert!(total(&at(2, 8.0)) > total(&at(2, 64.0)));
+        assert!(total(&at(2, 256.0)) > total(&at(2, 64.0)));
+        // Memory fraction: starved and saturated both beat the sweet spot.
+        assert!(at(3, 0.2).per_record_us > at(3, 0.6).per_record_us);
+        assert!(at(3, 0.9).per_record_us > at(3, 0.6).per_record_us);
+        // Locality wait trades task overhead against per-record cost.
+        assert!(at(6, 0.0).per_record_us > at(6, 10.0).per_record_us);
+        assert!(at(6, 10.0).task_overhead_us > at(6, 0.0).task_overhead_us);
+        // Overlay derives from the base, never compounds.
+        let once = extended(&MID).derive_cost(&base);
+        let again = extended(&MID).derive_cost(&base);
+        assert_eq!(once, again);
     }
 }

@@ -18,7 +18,7 @@
 
 use crate::batch::{Batch, BatchQueue};
 use crate::cluster::Cluster;
-use crate::config::StreamConfig;
+use crate::config::{ExtendedConfig, StreamConfig};
 use crate::executor::ExecutorManager;
 use crate::fault::{FaultPlan, FaultState, FaultTimer, TaskFaultCtx};
 use crate::metrics::{BatchMetrics, Listener};
@@ -322,6 +322,18 @@ impl StreamingEngine {
         StreamConfig::new(self.current_interval, self.target_executors.max(1))
     }
 
+    /// The engine parameters in force (extended applies retarget
+    /// `block_interval` and `speculation` here).
+    pub fn params(&self) -> &EngineParams {
+        &self.params
+    }
+
+    /// The cost model currently driving job simulation (the workload base,
+    /// or the extended-config overlay after an 8-knob apply).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
     /// Apply a configuration at runtime. The interval re-arms the divider
     /// from the next cut; executor changes start launching/retiring now.
     pub fn apply_config(&mut self, cfg: StreamConfig) {
@@ -365,6 +377,32 @@ impl StreamingEngine {
         self.target_executors = cfg.num_executors;
         self.executors
             .set_target(cfg.num_executors.min(self.external_cap), self.clock);
+    }
+
+    /// Apply an extended 8-knob configuration at runtime (the tuner
+    /// arena's surface). Batch interval and executors go through
+    /// [`StreamingEngine::apply_config`]; block interval and speculation
+    /// threshold retarget the real engine mechanics; the remaining knobs
+    /// re-derive the cost model from the workload base (never compounding
+    /// — `params.cost`/preset stays pristine). Safe mid-run: per-job cost
+    /// tables are rebuilt from `self.cost` every batch. The superbatch
+    /// signature is conservatively cleared so the closed form re-probes
+    /// under the new parameters; this is mode-independent because the
+    /// fast path is bit-identical to the exact path whenever it engages.
+    pub fn apply_extended_config(&mut self, ext: &ExtendedConfig) {
+        self.params.block_interval = ext.block_interval;
+        self.params.speculation = Some(Speculation {
+            multiplier: ext.speculation_multiplier,
+            ..Speculation::default()
+        });
+        let base = self
+            .params
+            .cost
+            .clone()
+            .unwrap_or_else(|| CostModel::preset(self.params.workload));
+        self.cost = ext.derive_cost(&base);
+        self.superbatch.prev = None;
+        self.apply_config(ext.stream);
     }
 
     /// Impose (or lift, with `u32::MAX`) a fleet executor ceiling. The

@@ -69,7 +69,7 @@ pub mod threaded;
 pub use adapter::SimSystem;
 pub use arbiter::{check_ledger_conservation, ArbiterStats, ExecutorArbiter, TenantGrant};
 pub use cluster::{Cluster, DiskClass, NodeSpec};
-pub use config::StreamConfig;
+pub use config::{ExtendedConfig, StreamConfig};
 pub use engine::{EngineParams, StreamingEngine};
 pub use fault::{FaultEvent, FaultPlan};
 pub use fleet::{FleetSim, TenantSpec};
