@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Shared determinism harness for the CI legs that all follow the same
+# shape: build one release binary from nostop-bench, run it with
+# NOSTOP_JOBS=1 and NOSTOP_JOBS=8, and byte-diff the stdout (and, when
+# the artifact itself is deterministic, the written file). Optional
+# --probe VAR=VAL passes add a third run under a kill-switch env var
+# whose stdout must also match the serial run.
+#
+# Usage: ci/determinism.sh <bin> [--artifact <ext>] [--diff-artifact]
+#                                [--probe VAR=VAL]...
+#
+#   <bin>            nostop-bench binary name (fig6, chaos_report, ...)
+#   --artifact <ext> the binary takes an output path as its first
+#                    positional argument; write it under /tmp with <ext>
+#   --diff-artifact  also byte-diff the serial vs parallel artifact
+#                    (omit for reports that embed wall times)
+#   --probe VAR=VAL  extra run with VAR=VAL set; stdout must match serial
+#
+# The superbatch leg stays bespoke: its differential is fast-vs-exact
+# engine semantics, not a worker-count replay.
+set -euo pipefail
+
+bin=$1
+shift
+artifact_ext=""
+diff_artifact=0
+probes=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --artifact)
+      artifact_ext=$2
+      shift 2
+      ;;
+    --diff-artifact)
+      diff_artifact=1
+      shift
+      ;;
+    --probe)
+      probes+=("$2")
+      shift 2
+      ;;
+    *)
+      echo "unknown argument: $1" >&2
+      exit 2
+      ;;
+  esac
+done
+
+cargo build --release -p nostop-bench --bin "$bin"
+
+out="/tmp/determinism-$bin"
+mkdir -p "$out"
+
+run() { # run <label> <env assignments...>
+  local label=$1
+  shift
+  local args=()
+  if [ -n "$artifact_ext" ]; then
+    args+=("$out/$label.$artifact_ext")
+  fi
+  env "$@" "./target/release/$bin" "${args[@]}" >"$out/$label.txt"
+}
+
+run serial NOSTOP_JOBS=1
+run parallel NOSTOP_JOBS=8
+diff "$out/serial.txt" "$out/parallel.txt"
+if [ "$diff_artifact" = 1 ] && [ -n "$artifact_ext" ]; then
+  diff "$out/serial.$artifact_ext" "$out/parallel.$artifact_ext"
+fi
+for probe in ${probes[@]+"${probes[@]}"}; do
+  label="probe-${probe%%=*}"
+  run "$label" "$probe"
+  diff "$out/serial.txt" "$out/$label.txt"
+done
+echo "determinism: $bin output byte-identical across runs"

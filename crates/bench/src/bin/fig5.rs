@@ -1,19 +1,22 @@
 //! Fig. 5 — the varying input-rate traces driving each workload.
 //!
 //! The generator draws a rate uniformly from the workload's range and
-//! holds it for 30 s before redrawing (§6.2.2). This binary prints each
-//! workload's trace over ten minutes plus its summary — the reproduction
-//! of the four panels of Fig. 5.
+//! holds it for 30 s before redrawing (§6.2.2). This binary is a thin
+//! wrapper over the committed `scenarios/fig5-*.json` corpus entries: the
+//! experiment definition (workload, rate process, rate seed, horizon)
+//! lives in the scenario files and is replayed through
+//! [`nostop_bench::scenario`]; only the Fig-5 presentation — per-workload
+//! CSV trace plus the summary table — remains here.
 
-use nostop_bench::driver::paper_rate;
 use nostop_bench::report::{f, print_section, Table};
+use nostop_bench::scenario::{build_rate, default_corpus_dir, parse_scenario, workload_of};
 use nostop_simcore::{SimTime, TimeSeries};
 use nostop_workloads::WorkloadKind;
 
-const DURATION_S: u64 = 600;
 const SAMPLE_EVERY_S: u64 = 10;
 
 fn main() {
+    let dir = default_corpus_dir();
     let mut summary = Table::new(&[
         "workload",
         "range (rec/s)",
@@ -22,9 +25,19 @@ fn main() {
         "observed mean",
     ]);
     for kind in WorkloadKind::ALL {
-        let mut rate = paper_rate(kind, 42);
+        let path = dir.join(format!("fig5-{}.json", kind.name()));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let spec = parse_scenario(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            workload_of(&spec).unwrap(),
+            kind,
+            "{} names the wrong workload",
+            spec.name
+        );
+        let mut rate = build_rate(&spec);
         let mut series = TimeSeries::new(kind.name());
-        for t in (0..=DURATION_S).step_by(SAMPLE_EVERY_S as usize) {
+        for t in (0..=spec.horizon_s as u64).step_by(SAMPLE_EVERY_S as usize) {
             series.push_at(
                 SimTime::from_micros(t * 1_000_000),
                 rate.rate_at(SimTime::from_micros(t * 1_000_000)),

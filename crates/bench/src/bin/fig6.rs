@@ -8,23 +8,43 @@
 //! most dynamic (their per-batch iteration counts vary), WordCount's the
 //! most stable.
 //!
+//! This binary is a thin wrapper over the committed `scenarios/fig6-*.json`
+//! corpus entries: the experiment definition (workload, seed, round
+//! budget, rate process) lives in the scenario files and the system is
+//! built through [`nostop_bench::scenario`]; only the Fig-6 presentation
+//! remains here.
+//!
 //! The four workload runs are independent cells on the
 //! [`nostop_bench::parallel`] fabric; each cell renders its evolution
 //! block to a string so the merged printout matches a serial run byte for
 //! byte.
 
-use nostop_bench::driver::run_nostop;
+use nostop_bench::driver::nostop_config;
 use nostop_bench::parallel::map_cells;
 use nostop_bench::report::{f, print_section, Table};
+use nostop_bench::scenario::{build_system, default_corpus_dir, parse_scenario, workload_of};
+use nostop_core::controller::NoStop;
 use nostop_workloads::WorkloadKind;
 use std::fmt::Write as _;
 
-const ROUNDS: u64 = 40;
-
 /// One workload cell: the rendered evolution block plus the summary row.
 fn run_cell(kind: WorkloadKind) -> (String, Vec<String>) {
-    let (run, _) = run_nostop(kind, 42, ROUNDS);
-    let trace = run.controller.trace();
+    let path = default_corpus_dir().join(format!("fig6-{}.json", kind.name()));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let spec = parse_scenario(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    assert_eq!(
+        workload_of(&spec).unwrap(),
+        kind,
+        "{} names the wrong workload",
+        spec.name
+    );
+    let rounds = spec.rounds.expect("fig6 scenarios declare a round budget");
+
+    let mut sys = build_system(&spec).unwrap_or_else(|e| panic!("{e}"));
+    let mut controller = NoStop::new(nostop_config(kind), spec.seed);
+    controller.run(&mut sys, rounds);
+    let trace = controller.trace();
 
     let mut block = String::new();
     let _ = writeln!(
@@ -44,9 +64,8 @@ fn run_cell(kind: WorkloadKind) -> (String, Vec<String>) {
         let _ = writeln!(block, "{round},{delay},{:.1}", interval);
     }
 
-    let phys = run.controller.current_physical();
-    let best = run
-        .controller
+    let phys = controller.current_physical();
+    let best = controller
         .best_config()
         .map(|(_, d)| f(d, 2))
         .unwrap_or_else(|| "-".into());
@@ -58,7 +77,7 @@ fn run_cell(kind: WorkloadKind) -> (String, Vec<String>) {
         .unwrap_or_else(|| "-".into());
     let row = vec![
         kind.name().to_string(),
-        run.rounds.to_string(),
+        rounds.to_string(),
         trace.resets().to_string(),
         f(phys[0], 1),
         f(phys[1], 0),

@@ -15,9 +15,10 @@
 //!    shows ~1× (the fabric's value there is the byte-identity contract,
 //!    not throughput).
 //!
-//! Plus two single-cell rows: the incremental GP surrogate fit
-//! (`gp_fit_256`, the tuner arena's steady state) and the steady
-//! multi-tenant fleet.
+//! Plus three single-cell rows: the incremental GP surrogate fit
+//! (`gp_fit_256`, the tuner arena's steady state), the adversarial
+//! scenario stack (flash crowds + hot-key skew through the
+//! `scenario_runner` library), and the steady multi-tenant fleet.
 //!
 //! Also records the peak RSS (`VmHWM` from `/proc/self/status`, a proxy
 //! for the bounded-listener memory guarantee) and the worker counts.
@@ -39,8 +40,10 @@ use nostop_bench::driver::{
     make_system, measure_config, nostop_config, paper_rate, run_nostop, run_tuner,
 };
 use nostop_bench::parallel::{grid, jobs, map_cells_weighted};
+use nostop_bench::scenario::run_method;
 use nostop_bench::smoke::engine_baseline;
 use nostop_core::arbiter::ArbiterPolicy;
+use nostop_core::scenario::{ClusterKind, RateSpec, ScenarioSpec, SkewSpec};
 use nostop_core::system::StreamingSystem;
 use nostop_datagen::rate::ConstantRate;
 use nostop_simcore::json::{self, Json};
@@ -226,6 +229,66 @@ fn best_fleet_cell(repeats: usize) -> (u64, f64) {
     best.expect("at least one repeat")
 }
 
+/// Scenario smoke cell: horizon of the adversarial-arrivals run.
+const SCENARIO_HORIZON_S: f64 = 600.0;
+
+/// The inline spec for the scenario cell: flash crowds over a constant
+/// base with hot-key partition skew, driven by the static default —
+/// exercising the scenario stack end to end (combinators + skewed broker
+/// + skew-stretched engine) without any controller variance.
+fn scenario_cell_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "perf-smoke".into(),
+        workload: "wordcount".into(),
+        cluster: ClusterKind::Paper,
+        seed: 17,
+        rate_seed: None,
+        horizon_s: SCENARIO_HORIZON_S,
+        rounds: None,
+        methods: vec!["static".into()],
+        rate: RateSpec::FlashCrowd {
+            base: Box::new(RateSpec::Constant { rate: 150_000.0 }),
+            mean_gap_secs: 120.0,
+            crowd_secs: 45.0,
+            pareto_shape: 1.5,
+            min_magnitude: 1.5,
+            max_magnitude: 3.0,
+        },
+        skew: SkewSpec::HotKey {
+            hot_fraction: 0.125,
+            hot_weight: 6.0,
+        },
+        faults: vec![],
+    }
+}
+
+/// One scenario cell: replay the inline adversarial spec with the static
+/// default and return the batch count (deterministic — repeats assert
+/// they simulated the same run).
+fn run_scenario_cell() -> u64 {
+    let spec = scenario_cell_spec();
+    let r = run_method(&spec, "static").expect("scenario smoke cell runs");
+    r.batches as u64
+}
+
+/// Best-of-`repeats` scenario cell: `(batches, best_wall_ms)`.
+fn best_scenario_cell(repeats: usize) -> (u64, f64) {
+    let mut best: Option<(u64, f64)> = None;
+    for _ in 0..repeats {
+        let (batches, wall) = time_ms(run_scenario_cell);
+        if let Some((prev, _)) = best {
+            assert_eq!(
+                prev, batches,
+                "scenario cell batch count changed between repeats"
+            );
+        }
+        if best.map(|(_, w)| wall < w).unwrap_or(true) {
+            best = Some((batches, wall));
+        }
+    }
+    best.expect("at least one repeat")
+}
+
 /// GP smoke cell: observations in the incremental fit (the tuner arena's
 /// surrogate at full budget ×~5).
 const GP_OBSERVATIONS: usize = 256;
@@ -276,6 +339,20 @@ fn gp_baseline(committed: &Json) -> Result<f64, String> {
         Ok(aps) if aps > 0.0 && aps.is_finite() => Ok(aps),
         Ok(aps) => Err(format!(
             "gp_adds_per_s = {aps} (must be a positive finite number)"
+        )),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Find the committed `scenario_batches_per_s` for the scenario smoke row.
+fn scenario_baseline(committed: &Json) -> Result<f64, String> {
+    let sc = committed
+        .get("scenario")
+        .ok_or_else(|| "no committed scenario section".to_string())?;
+    match sc.field_f64("scenario_batches_per_s") {
+        Ok(bps) if bps > 0.0 && bps.is_finite() => Ok(bps),
+        Ok(bps) => Err(format!(
+            "scenario_batches_per_s = {bps} (must be a positive finite number)"
         )),
         Err(e) => Err(e.to_string()),
     }
@@ -421,6 +498,29 @@ fn smoke(path: &str) -> i32 {
             unusable += 1;
         }
     }
+    // Scenario smoke row: the adversarial scenario stack (flash crowds +
+    // hot-key skew through `scenario_runner`'s library). Same floor, same
+    // stale-vs-slow distinction — a missing scenario section is a stale
+    // report, not a regression, and still fails hard.
+    match scenario_baseline(&committed) {
+        Ok(base_bps) => {
+            let (batches, wall) = best_scenario_cell(repeats);
+            let bps = batches as f64 / (wall / 1e3);
+            let ratio = bps / base_bps;
+            let verdict = if ratio >= SMOKE_FLOOR { "ok" } else { "FAIL" };
+            println!(
+                "smoke {:<22} {SCENARIO_HORIZON_S:>4.0}s x{batches:<4} {bps:>9.1} b/s vs {base_bps:>9.1} committed  ({ratio:.2}x) {verdict}",
+                "scenario(adversarial)"
+            );
+            if ratio < SMOKE_FLOOR {
+                regressed += 1;
+            }
+        }
+        Err(e) => {
+            eprintln!("smoke: scenario cell: {e} — regenerate {path} with `perf_report`");
+            unusable += 1;
+        }
+    }
     if regressed > 0 {
         eprintln!("smoke: {regressed} cell(s) regressed >25% vs {path}");
     }
@@ -433,7 +533,9 @@ fn smoke(path: &str) -> i32 {
     if regressed + unusable > 0 {
         1
     } else {
-        println!("smoke: engine matrix + fleet cell within 25% of committed throughput");
+        println!(
+            "smoke: engine matrix + gp + scenario + fleet cells within 25% of committed throughput"
+        );
         0
     }
 }
@@ -541,6 +643,18 @@ fn main() {
         ("posterior_check", json::num(gp_check)),
     ]);
 
+    // --- Layer 3b: adversarial scenario cell, single-threaded, best-of-N ---
+    let (scenario_batches, scenario_wall) = best_scenario_cell(repeats);
+    let scenario_row = json::obj(vec![
+        ("horizon_s", json::num(SCENARIO_HORIZON_S)),
+        ("batches", json::uint(scenario_batches)),
+        ("wall_ms", json::num(scenario_wall)),
+        (
+            "scenario_batches_per_s",
+            json::num(scenario_batches as f64 / (scenario_wall / 1e3)),
+        ),
+    ]);
+
     // --- Layer 4: fleet cell, single-threaded, best-of-N ---
     let (fleet_digest, fleet_wall) = best_fleet_cell(repeats);
     let fleet_row = json::obj(vec![
@@ -564,6 +678,7 @@ fn main() {
         ("engine_matrix", Json::Arr(engine_rows)),
         ("driver_grids", Json::Arr(driver_rows)),
         ("gp_fit_256", gp_row),
+        ("scenario", scenario_row),
         ("fleet", fleet_row),
         (
             "peak_rss_kb",

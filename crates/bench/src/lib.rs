@@ -26,4 +26,5 @@ pub mod driver;
 pub mod parallel;
 pub mod replay;
 pub mod report;
+pub mod scenario;
 pub mod smoke;

@@ -76,6 +76,7 @@ pub mod listener;
 pub mod objective;
 pub mod policy;
 pub mod sa;
+pub mod scenario;
 pub mod space;
 pub mod system;
 pub mod trace;
@@ -84,5 +85,6 @@ pub use arbiter::{ArbiterPolicy, LedgerEvent, LedgerEventKind, ResourceRequest};
 pub use controller::{NoStop, NoStopConfig};
 pub use objective::PenaltySchedule;
 pub use sa::{Fdsa, GainSchedule, Spsa, SpsaParams};
+pub use scenario::{ClusterKind, FaultSpec, RateSpec, ScenarioSpec, SkewSpec};
 pub use space::{ConfigSpace, ParamSpec};
 pub use system::{BatchObservation, Measurement, StreamingSystem};

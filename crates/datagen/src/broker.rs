@@ -50,15 +50,36 @@ struct Partition {
     consumed: u64,
 }
 
+/// Per-partition production state for skewed (hot-key) traffic.
+///
+/// When the paper's skew-avoidance rule is deliberately broken, the O(1)
+/// shared-offset trick no longer applies: each partition gets its own
+/// weighted share of every produce call with its own fractional carry.
+/// Only brokers built via [`Broker::with_skew`] pay this O(partitions)
+/// produce cost; the uniform path is untouched.
+#[derive(Debug, Clone)]
+struct SkewState {
+    /// Normalized per-partition produce weights (sum = 1).
+    weights: Vec<f64>,
+    /// Per-partition produced offsets.
+    produced: Vec<u64>,
+    /// Per-partition fractional carries.
+    carry: Vec<f64>,
+}
+
 /// A partitioned broker with offset/lag accounting and a consume-rate limit.
 #[derive(Debug, Clone)]
 pub struct Broker {
     partitions: Vec<Partition>,
     /// Produced offset, identical for every partition (uniform production).
+    /// Unused (stays zero) when `skew` is set.
     produced_per_partition: u64,
     /// Fractional record carry of the uniform production share, identical
-    /// for every partition.
+    /// for every partition. Unused when `skew` is set.
     produce_carry: f64,
+    /// Weighted per-partition production, when the skew-free assumption is
+    /// deliberately broken.
+    skew: Option<SkewState>,
     max_consume_rate: Option<f64>,
     /// Fractional budget carry for the rate limiter.
     rate_carry: f64,
@@ -75,9 +96,45 @@ impl Broker {
             partitions: vec![Partition::default(); config.partitions],
             produced_per_partition: 0,
             produce_carry: 0.0,
+            skew: None,
             max_consume_rate: config.max_consume_rate,
             rate_carry: 0.0,
         }
+    }
+
+    /// Switch production to weighted per-partition shares (hot-key skew).
+    ///
+    /// `weights` must have one entry per partition; they are normalized
+    /// internally, so only ratios matter. Must be applied before any
+    /// production. Panics on length mismatch or non-positive weights.
+    pub fn with_skew(mut self, weights: Vec<f64>) -> Self {
+        assert_eq!(
+            weights.len(),
+            self.partitions.len(),
+            "need one weight per partition"
+        );
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "weights must be positive and finite"
+        );
+        assert_eq!(
+            self.total_produced(),
+            0,
+            "skew must be set before producing"
+        );
+        let total: f64 = weights.iter().sum();
+        let n = weights.len();
+        self.skew = Some(SkewState {
+            weights: weights.into_iter().map(|w| w / total).collect(),
+            produced: vec![0; n],
+            carry: vec![0.0; n],
+        });
+        self
+    }
+
+    /// True when production is weighted rather than uniform.
+    pub fn is_skewed(&self) -> bool {
+        self.skew.is_some()
     }
 
     /// Number of partitions.
@@ -85,16 +142,33 @@ impl Broker {
         self.partitions.len()
     }
 
-    fn lag(&self, p: &Partition) -> u64 {
-        self.produced_per_partition - p.consumed
+    fn produced_of(&self, i: usize) -> u64 {
+        match &self.skew {
+            Some(s) => s.produced[i],
+            None => self.produced_per_partition,
+        }
     }
 
-    /// Produce `count` records, spread uniformly across partitions (the
-    /// paper's skew-avoidance rule). Fractional shares carry over so that
-    /// long-run distribution is exactly uniform. O(1): every partition's
-    /// produced offset advances by the same amount.
+    fn lag_of(&self, i: usize) -> u64 {
+        self.produced_of(i) - self.partitions[i].consumed
+    }
+
+    /// Produce `count` records. Uniform production (the paper's
+    /// skew-avoidance rule) spreads them identically across partitions in
+    /// O(1); a skewed broker gives each partition its weighted share with
+    /// a per-partition fractional carry, conserving the long-run total
+    /// exactly.
     pub fn produce(&mut self, count: u64) {
         if count == 0 {
+            return;
+        }
+        if let Some(skew) = &mut self.skew {
+            for i in 0..skew.weights.len() {
+                let want = count as f64 * skew.weights[i] + skew.carry[i];
+                let whole = want.floor();
+                skew.carry[i] = want - whole;
+                skew.produced[i] += whole as u64;
+            }
             return;
         }
         let n = self.partitions.len() as f64;
@@ -107,7 +181,10 @@ impl Broker {
 
     /// Total records ever produced.
     pub fn total_produced(&self) -> u64 {
-        self.produced_per_partition * self.partitions.len() as u64
+        match &self.skew {
+            Some(s) => s.produced.iter().sum(),
+            None => self.produced_per_partition * self.partitions.len() as u64,
+        }
     }
 
     /// Total records ever consumed.
@@ -122,7 +199,7 @@ impl Broker {
 
     /// Per-partition lag snapshot.
     pub fn partition_lags(&self) -> Vec<u64> {
-        self.partitions.iter().map(|p| self.lag(p)).collect()
+        (0..self.partitions.len()).map(|i| self.lag_of(i)).collect()
     }
 
     /// Set (or clear) the consumer-side rate limit in records/second.
@@ -169,8 +246,13 @@ impl Broker {
         take
     }
 
-    /// Produced offset per partition (uniform by construction).
+    /// Produced offset per partition. Only meaningful for uniform
+    /// production (the fast paths that call this refuse skewed brokers).
     pub fn produced_per_partition(&self) -> u64 {
+        debug_assert!(
+            self.skew.is_none(),
+            "per-partition offset is not shared under skew"
+        );
         self.produced_per_partition
     }
 
@@ -185,6 +267,10 @@ impl Broker {
     /// record cut as soon as it arrives), where production and consumption
     /// telescope to the same per-partition advance.
     pub fn fast_forward(&mut self, per_partition: u64) {
+        assert!(
+            self.skew.is_none(),
+            "fast_forward requires uniform production"
+        );
         debug_assert_eq!(self.total_lag(), 0, "fast_forward requires zero lag");
         self.produced_per_partition += per_partition;
         for p in &mut self.partitions {
@@ -196,29 +282,28 @@ impl Broker {
         if remaining == 0 {
             return;
         }
-        // Round-robin by repeatedly taking proportional shares; two passes
-        // suffice because lags are near-uniform by construction.
-        let produced = self.produced_per_partition;
+        // Round-robin by repeatedly taking proportional shares. Two passes
+        // suffice for the uniform broker (lags are near-uniform by
+        // construction); a skewed broker converges in a few more rounds
+        // because the hot partitions dominate the remaining lag.
         loop {
-            let lagging = self
-                .partitions
-                .iter()
-                .filter(|p| produced > p.consumed)
+            let lagging = (0..self.partitions.len())
+                .filter(|&i| self.lag_of(i) > 0)
                 .count() as u64;
             if lagging == 0 || remaining == 0 {
                 break;
             }
             let share = (remaining / lagging).max(1);
-            for p in &mut self.partitions {
+            for i in 0..self.partitions.len() {
                 if remaining == 0 {
                     break;
                 }
-                let lag = produced - p.consumed;
+                let lag = self.lag_of(i);
                 if lag == 0 {
                     continue;
                 }
                 let take = share.min(lag).min(remaining);
-                p.consumed += take;
+                self.partitions[i].consumed += take;
                 remaining -= take;
             }
         }
@@ -339,5 +424,77 @@ mod tests {
             partitions: 0,
             max_consume_rate: None,
         });
+    }
+
+    fn skewed(parts: usize, weights: Vec<f64>) -> Broker {
+        Broker::new(BrokerConfig {
+            partitions: parts,
+            max_consume_rate: None,
+        })
+        .with_skew(weights)
+    }
+
+    #[test]
+    fn skewed_produce_conserves_and_follows_weights() {
+        // One hot partition at 5x the cold weight.
+        let mut b = skewed(4, vec![5.0, 1.0, 1.0, 1.0]);
+        for _ in 0..1000 {
+            b.produce(16);
+        }
+        let total = b.total_produced();
+        // Per-partition carries hold back at most one record each.
+        assert!((16_000 - 4..=16_000).contains(&total), "total {total}");
+        let lags = b.partition_lags();
+        let hot = lags[0] as f64;
+        for &cold in &lags[1..] {
+            let ratio = hot / cold as f64;
+            assert!((4.9..=5.1).contains(&ratio), "hot/cold ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn skewed_lags_drain_completely() {
+        let mut b = skewed(4, vec![10.0, 1.0, 1.0, 1.0]);
+        b.produce(13_000);
+        let got = b.consume_window(1.0);
+        assert_eq!(got, b.total_consumed());
+        assert_eq!(b.total_lag(), 0);
+        for lag in b.partition_lags() {
+            assert_eq!(lag, 0);
+        }
+    }
+
+    #[test]
+    fn skewed_consume_exact_is_bounded_by_lag() {
+        let mut b = skewed(3, vec![8.0, 1.0, 1.0]);
+        b.produce(100);
+        let lag = b.total_lag();
+        assert_eq!(b.consume_exact(lag + 50), lag);
+        assert_eq!(b.total_lag(), 0);
+    }
+
+    #[test]
+    fn uniform_weights_behave_like_uniform_broker() {
+        let mut a = broker(4);
+        let mut b = skewed(4, vec![2.0; 4]);
+        for _ in 0..100 {
+            a.produce(17);
+            b.produce(17);
+        }
+        assert_eq!(a.total_produced(), b.total_produced());
+        assert_eq!(a.partition_lags(), b.partition_lags());
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform production")]
+    fn fast_forward_refuses_skewed_broker() {
+        let mut b = skewed(2, vec![3.0, 1.0]);
+        b.fast_forward(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per partition")]
+    fn skew_weight_length_must_match() {
+        let _ = skewed(3, vec![1.0, 2.0]);
     }
 }

@@ -8,6 +8,10 @@
 //!   `[MinRate, MaxRate]` redrawn periodically (§6.2.2), plus constant,
 //!   sinusoidal, ramp, surge (e-commerce promotion spikes), and recorded
 //!   traces, with composition.
+//! * [`adversarial`] — the production-grade nasty cases: flash crowds with
+//!   Pareto-sized magnitudes, heavy-tailed record bursts, and correlated
+//!   multi-source surges off a shared trigger stream, each wrapping any
+//!   base process deterministically.
 //! * [`records`] — synthetic record generators for the four workloads:
 //!   labelled feature vectors for (logistic|linear) regression, text lines
 //!   for WordCount, and Nginx *combined log format* lines for Log Analyze.
@@ -19,12 +23,14 @@
 //!   broker: advancing virtual time materializes the right (fractional-
 //!   accumulated) number of records in each partition.
 
+pub mod adversarial;
 pub mod broker;
 pub mod generator;
 pub mod rate;
 pub mod records;
 
+pub use adversarial::{CorrelatedSurgeRate, FlashCrowdRate, ParetoBurstRate};
 pub use broker::{Broker, BrokerConfig, PartitionId};
 pub use generator::StreamGenerator;
-pub use rate::{tenant_seed, RateProcess, RateSpec};
+pub use rate::{tenant_seed, RateProcess, RateSpec, RateSpecExt};
 pub use records::{Record, RecordGenerator, RecordKind};

@@ -462,93 +462,106 @@ impl RateProcess for ScaledRate {
     }
 }
 
-/// A declarative, `Clone`-able description of a rate process — what a
-/// fleet tenant spec carries instead of a live `Box<dyn RateProcess>`
-/// (trait objects hold RNG state and cannot be cloned or compared).
-/// [`RateSpec::build`] instantiates the process with an explicit RNG, so
-/// the trajectory is a pure function of `(spec, rng)`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum RateSpec {
-    /// [`ConstantRate`].
-    Constant {
-        /// Records per second.
-        rate: f64,
-    },
-    /// The paper's [`UniformRandomRate`] (§6.2.2).
-    UniformRandom {
-        /// Lower rate bound.
-        min_rate: f64,
-        /// Upper rate bound.
-        max_rate: f64,
-        /// Seconds between redraws.
-        hold_secs: f64,
-    },
-    /// [`SinusoidRate`] (diurnal load).
-    Sinusoid {
-        /// Mean rate.
-        base: f64,
-        /// Peak deviation from the mean.
-        amplitude: f64,
-        /// Full-cycle period in seconds.
-        period_secs: f64,
-    },
-    /// [`RampRate`] (linear growth or decay).
-    Ramp {
-        /// Rate at `t = 0`.
-        start_rate: f64,
-        /// Rate at `t = duration_secs` and beyond.
-        end_rate: f64,
-        /// Seconds the ramp spans.
-        duration_secs: f64,
-    },
-    /// [`SurgeRate`] over a constant base (§5.5 promotion spikes).
-    Surge {
-        /// Base records per second between surges.
-        base_rate: f64,
-        /// Multiplicative surge factor (`>= 1`).
-        magnitude: f64,
-        /// Surge duration in seconds.
-        surge_secs: f64,
-        /// Mean seconds between surge onsets (Poisson).
-        mean_gap_secs: f64,
-    },
-}
+/// The declarative, `Clone`-able description of a rate process — what
+/// fleet tenant specs and scenario files carry instead of a live
+/// `Box<dyn RateProcess>` (trait objects hold RNG state and cannot be
+/// cloned or compared). The enum itself lives in `nostop-core` (it is a
+/// wire type shared with `ScenarioSpec`); this crate owns the
+/// instantiation via [`RateSpecExt::build`], keeping the trajectory a
+/// pure function of `(spec, rng)`.
+pub use nostop_core::scenario::RateSpec;
 
-impl RateSpec {
+/// Instantiation of a [`RateSpec`] into a live process. An extension
+/// trait because the spec is defined in `nostop-core`, which must not
+/// depend on the process implementations here.
+pub trait RateSpecExt {
     /// Instantiate the described process. `rng` seeds the stochastic
     /// variants and is ignored by the deterministic ones — so two tenants
     /// sharing a spec but holding different [`SimRng`] forks follow
     /// independent trajectories, while rebuilding with the same fork
-    /// replays bit-for-bit.
-    pub fn build(&self, rng: SimRng) -> Box<dyn RateProcess> {
-        match *self {
-            RateSpec::Constant { rate } => Box::new(ConstantRate::new(rate)),
+    /// replays bit-for-bit. Composite variants (flash crowds, Pareto
+    /// bursts, correlated surges) split `rng` into dedicated sub-streams —
+    /// see [`crate::adversarial`] for the stream map.
+    fn build(&self, rng: SimRng) -> Box<dyn RateProcess>;
+}
+
+impl RateSpecExt for RateSpec {
+    fn build(&self, rng: SimRng) -> Box<dyn RateProcess> {
+        match self {
+            RateSpec::Constant { rate } => Box::new(ConstantRate::new(*rate)),
             RateSpec::UniformRandom {
                 min_rate,
                 max_rate,
                 hold_secs,
-            } => Box::new(UniformRandomRate::new(min_rate, max_rate, hold_secs, rng)),
+            } => Box::new(UniformRandomRate::new(
+                *min_rate, *max_rate, *hold_secs, rng,
+            )),
             RateSpec::Sinusoid {
                 base,
                 amplitude,
                 period_secs,
-            } => Box::new(SinusoidRate::new(base, amplitude, period_secs)),
+            } => Box::new(SinusoidRate::new(*base, *amplitude, *period_secs)),
             RateSpec::Ramp {
                 start_rate,
                 end_rate,
                 duration_secs,
-            } => Box::new(RampRate::new(start_rate, end_rate, duration_secs)),
+            } => Box::new(RampRate::new(*start_rate, *end_rate, *duration_secs)),
             RateSpec::Surge {
                 base_rate,
                 magnitude,
                 surge_secs,
                 mean_gap_secs,
             } => Box::new(SurgeRate::new(
-                Box::new(ConstantRate::new(base_rate)),
+                Box::new(ConstantRate::new(*base_rate)),
+                *magnitude,
+                *surge_secs,
+                *mean_gap_secs,
+                rng,
+            )),
+            RateSpec::FlashCrowd {
+                base,
+                mean_gap_secs,
+                crowd_secs,
+                pareto_shape,
+                min_magnitude,
+                max_magnitude,
+            } => Box::new(crate::adversarial::FlashCrowdRate::new(
+                base.build(rng.fork(crate::adversarial::ADV_BASE_STREAM)),
+                *mean_gap_secs,
+                *crowd_secs,
+                *pareto_shape,
+                *min_magnitude,
+                *max_magnitude,
+                rng.fork(crate::adversarial::ADV_EVENT_STREAM),
+            )),
+            RateSpec::ParetoBurst {
+                base,
+                mean_gap_secs,
+                burst_secs,
+                pareto_shape,
+                min_burst_records,
+                max_burst_records,
+            } => Box::new(crate::adversarial::ParetoBurstRate::new(
+                base.build(rng.fork(crate::adversarial::ADV_BASE_STREAM)),
+                *mean_gap_secs,
+                *burst_secs,
+                *pareto_shape,
+                *min_burst_records,
+                *max_burst_records,
+                rng.fork(crate::adversarial::ADV_EVENT_STREAM),
+            )),
+            RateSpec::CorrelatedSurge {
+                base,
+                trigger_seed,
                 magnitude,
                 surge_secs,
                 mean_gap_secs,
-                rng,
+            } => Box::new(crate::adversarial::CorrelatedSurgeRate::new(
+                base.build(rng.fork(crate::adversarial::ADV_BASE_STREAM)),
+                *trigger_seed,
+                *magnitude,
+                *surge_secs,
+                *mean_gap_secs,
             )),
         }
     }

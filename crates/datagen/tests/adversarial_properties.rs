@@ -1,0 +1,176 @@
+//! Property suite for the adversarial arrival combinators and hot-key
+//! partition skew (the `scenarios` CI leg's randomized half).
+//!
+//! Contracts pinned here:
+//!
+//! 1. **Pareto draws** respect their bounds — every sample lands in
+//!    `[scale, cap]` for arbitrary shape/scale/cap — and are a pure
+//!    function of the RNG seed (same seed ⇒ bitwise-identical samples).
+//! 2. **Composite combinators are replayable**: a flash-crowd,
+//!    Pareto-burst, or correlated-surge process built twice from the same
+//!    [`RateSpec`] and seed answers arbitrary time queries bitwise
+//!    identically, and never drops below its base process's floor.
+//! 3. **Correlated surges share a trigger clock**: two processes over
+//!    different bases but one `trigger_seed` surge at the same instants.
+//! 4. **Hot-key skew conserves records**: a skewed broker's per-partition
+//!    production sums to exactly the requested total for arbitrary
+//!    weights and produce sequences, and hot partitions outproduce cold
+//!    ones in weight proportion.
+
+use nostop_core::scenario::{RateSpec, SkewSpec};
+use nostop_datagen::adversarial::pareto_draw;
+use nostop_datagen::broker::{Broker, BrokerConfig};
+use nostop_datagen::rate::RateSpecExt;
+use nostop_simcore::{SimRng, SimTime};
+use proptest::prelude::*;
+
+fn at(t: f64) -> SimTime {
+    SimTime::from_micros((t * 1e6) as u64)
+}
+
+/// An arbitrary composite spec over a constant base, keyed by `variant`.
+fn composite_spec(variant: u8, base_rate: f64, gap: f64, shape: f64) -> RateSpec {
+    let base = Box::new(RateSpec::Constant { rate: base_rate });
+    match variant % 3 {
+        0 => RateSpec::FlashCrowd {
+            base,
+            mean_gap_secs: gap,
+            crowd_secs: 30.0,
+            pareto_shape: shape,
+            min_magnitude: 1.5,
+            max_magnitude: 6.0,
+        },
+        1 => RateSpec::ParetoBurst {
+            base,
+            mean_gap_secs: gap,
+            burst_secs: 20.0,
+            pareto_shape: shape,
+            min_burst_records: 10_000.0,
+            max_burst_records: 5_000_000.0,
+        },
+        _ => RateSpec::CorrelatedSurge {
+            base,
+            trigger_seed: 99,
+            magnitude: 3.0,
+            surge_secs: 45.0,
+            mean_gap_secs: gap,
+        },
+    }
+}
+
+proptest! {
+    #[test]
+    fn pareto_draws_respect_cap_and_replay_per_seed(
+        seed in 0u64..1_000_000,
+        shape in 0.2f64..5.0,
+        scale in 0.1f64..1_000.0,
+        cap_factor in 1.0f64..100.0,
+        draws in 1usize..200,
+    ) {
+        let cap = scale * cap_factor;
+        let mut a = SimRng::seed_from_u64(seed);
+        let mut b = SimRng::seed_from_u64(seed);
+        for _ in 0..draws {
+            let x = pareto_draw(&mut a, shape, scale, cap);
+            prop_assert!(x >= scale, "draw {x} below scale {scale}");
+            prop_assert!(x <= cap, "draw {x} above cap {cap}");
+            // Same seed ⇒ bitwise-identical sample stream.
+            prop_assert_eq!(x.to_bits(), pareto_draw(&mut b, shape, scale, cap).to_bits());
+        }
+    }
+
+    #[test]
+    fn composite_rates_replay_and_respect_base_floor(
+        variant in 0u8..3,
+        seed in 0u64..1_000_000,
+        base_rate in 1_000.0f64..200_000.0,
+        gap in 30.0f64..600.0,
+        shape in 0.8f64..3.0,
+        times in prop::collection::vec(0.0f64..3_600.0, 1..40),
+    ) {
+        let spec = composite_spec(variant, base_rate, gap, shape);
+        let mut p = spec.build(SimRng::seed_from_u64(seed));
+        let mut q = spec.build(SimRng::seed_from_u64(seed));
+        // Combinators only answer monotone queries (lazy onset state).
+        let mut times = times;
+        times.sort_by(f64::total_cmp);
+        for &t in &times {
+            let r = p.rate_at(at(t));
+            prop_assert_eq!(r.to_bits(), q.rate_at(at(t)).to_bits());
+            prop_assert!(
+                r >= base_rate - 1e-9,
+                "composite rate {r} fell below its base {base_rate} at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn correlated_surges_share_trigger_instants(
+        seed_a in 0u64..1_000_000,
+        seed_b in 0u64..1_000_000,
+        trigger in 0u64..1_000_000,
+        base_a in 1_000.0f64..100_000.0,
+        base_b in 1_000.0f64..100_000.0,
+    ) {
+        let spec = |rate: f64| RateSpec::CorrelatedSurge {
+            base: Box::new(RateSpec::Constant { rate }),
+            trigger_seed: trigger,
+            magnitude: 4.0,
+            surge_secs: 60.0,
+            mean_gap_secs: 120.0,
+        };
+        let mut a = spec(base_a).build(SimRng::seed_from_u64(seed_a));
+        let mut b = spec(base_b).build(SimRng::seed_from_u64(seed_b));
+        for i in 0..360 {
+            let t = at(i as f64 * 10.0);
+            // Surging iff rate is above base — must agree at every probe
+            // even though bases and build seeds differ.
+            let sa = a.rate_at(t) > base_a + 1e-9;
+            let sb = b.rate_at(t) > base_b + 1e-9;
+            prop_assert_eq!(sa, sb, "trigger streams diverged at t={}", i * 10);
+        }
+    }
+
+    #[test]
+    fn hot_key_skew_conserves_records(
+        partitions in 1usize..64,
+        hot_fraction in 0.01f64..0.99,
+        hot_weight in 1.5f64..50.0,
+        ops in prop::collection::vec(0u64..50_000, 1..40),
+    ) {
+        let skew = SkewSpec::HotKey { hot_fraction, hot_weight };
+        let Some(weights) = skew.weights(partitions) else {
+            // Every partition hot ⇒ uniform again; nothing skewed to test.
+            return Ok(());
+        };
+        let mut b = Broker::new(BrokerConfig { partitions, max_consume_rate: None })
+            .with_skew(weights.clone());
+        let mut want = 0u64;
+        for n in ops {
+            b.produce(n);
+            want += n;
+            // Conservation at every step, not just the end: whatever the
+            // weighted split produced is fully accounted for across
+            // partitions, and the fractional carries hold back at most
+            // one record per partition — they never create records.
+            prop_assert_eq!(b.total_produced(), b.total_consumed() + b.total_lag());
+            let total = b.total_produced();
+            prop_assert!(total <= want, "produced {total} > requested {want}");
+            prop_assert!(
+                want - total <= partitions as u64,
+                "deficit {} exceeds one record per partition",
+                want - total
+            );
+        }
+        // Hot partitions outproduce cold ones in weight proportion
+        // (±1 record of fractional carry per partition).
+        let hot = skew.hot_partitions(partitions);
+        if hot < partitions && want > 0 {
+            let lags = b.partition_lags();
+            let per_hot = want as f64 * weights[0];
+            let per_cold = want as f64 * weights[partitions - 1];
+            prop_assert!((lags[0] as f64 - per_hot).abs() <= 1.0);
+            prop_assert!((lags[partitions - 1] as f64 - per_cold).abs() <= 1.0);
+        }
+    }
+}

@@ -25,6 +25,7 @@ use crate::metrics::{BatchMetrics, Listener};
 use crate::noise::{NoiseModel, NoiseParams};
 use crate::scheduler::{simulate_job, tasks_for, JobScratch, Speculation};
 use crate::superbatch::{self, BatchSignature, SuperbatchArm, SuperbatchState, SuperbatchStats};
+use nostop_core::scenario::SkewSpec;
 use nostop_datagen::broker::{Broker, BrokerConfig};
 use nostop_datagen::rate::RateProcess;
 use nostop_datagen::StreamGenerator;
@@ -75,6 +76,12 @@ pub struct EngineParams {
     /// Scheduled faults (crashes, stragglers, outages, task failures).
     /// The default empty plan is byte-identical to a fault-free engine.
     pub faults: FaultPlan,
+    /// Partition skew at the broker's produce side. [`SkewSpec::None`]
+    /// (the paper's skew-avoidance rule) is byte-identical to a build
+    /// without this field; a hot-key spec routes weighted shares to hot
+    /// partitions and stretches job cost by the straggling hot task's
+    /// share of the critical path.
+    pub skew: SkewSpec,
     /// Allow the superbatch fast path (closed-form batch simulation when
     /// consecutive batches share a [`BatchSignature`] and the cluster is
     /// quiet). Results are bit-identical either way — this switch and the
@@ -102,6 +109,7 @@ impl EngineParams {
             speculation: None,
             metrics_window: Listener::DEFAULT_WINDOW,
             faults: FaultPlan::none(),
+            skew: SkewSpec::None,
             superbatch: true,
             seed,
         }
@@ -202,6 +210,9 @@ pub struct StreamingEngine {
     external_cap: u32,
     executors: ExecutorManager,
     broker: Broker,
+    /// Hot-partition load imbalance (`1.0` = uniform). Computed once from
+    /// `params.skew`; the per-job cost stretch is derived from it.
+    skew_imbalance: f64,
     generator: StreamGenerator,
     noise: NoiseModel,
     /// RNG stream for per-job stage sampling.
@@ -252,6 +263,11 @@ impl StreamingEngine {
             partitions: params.partitions,
             max_consume_rate: None,
         });
+        let broker = match params.skew.weights(params.partitions) {
+            Some(weights) => broker.with_skew(weights),
+            None => broker,
+        };
+        let skew_imbalance = params.skew.imbalance(params.partitions);
         let noise = NoiseModel::new(params.noise, params.cluster.nodes.len(), root.fork(1));
         let job_rng = root.fork(2);
         let fault_rng = root.fork(3);
@@ -275,6 +291,7 @@ impl StreamingEngine {
             external_cap: u32::MAX,
             executors,
             broker,
+            skew_imbalance,
             generator: StreamGenerator::new(rate),
             noise,
             job_rng,
@@ -498,6 +515,9 @@ impl StreamingEngine {
             || !self.queue.is_empty()
             || self.broker.total_lag() != 0
             || self.broker.max_consume_rate().is_some()
+            // A skewed broker's stationarity lives in per-partition carries
+            // the shape cannot capture; refuse so fast paths never engage.
+            || self.broker.is_skewed()
             || self.pending_failures != 0
             || self.arrived_since_cut != 0
         {
@@ -954,10 +974,29 @@ impl StreamingEngine {
             && self.executors.executors().iter().all(|e| !e.fresh);
         self.superbatch.prev = Some(sig);
 
+        // Hot-key skew stretches the critical path: the task holding the
+        // hottest partition's records runs `skew_imbalance`× the fair
+        // share, and with `waves` task waves per executor only the last
+        // wave waits on it. Modeled as a record-count stretch so the cost
+        // kernel, noise, and retries all see the longer job uniformly.
+        // Conservation metrics keep the true `batch.records`; the stretch
+        // is a pure function of the superbatch signature (records +
+        // fleet_version ⇒ executor count), so signature equality still
+        // implies equal-cost jobs.
+        let cost_records = if self.skew_imbalance > 1.0 {
+            let tasks = tasks_for(batch.interval, self.params.block_interval) as f64;
+            let execs = self.executors.count().max(1) as f64;
+            let waves = (tasks / execs).max(1.0);
+            let stretch = 1.0 + (self.skew_imbalance - 1.0) / waves;
+            (batch.records as f64 * stretch).round() as u64
+        } else {
+            batch.records
+        };
+
         let stats_before = self.superbatch.stats;
         let result = simulate_job(
             &self.cost,
-            batch.records,
+            cost_records,
             batch.interval,
             self.params.block_interval,
             start,

@@ -162,6 +162,52 @@ impl FaultPlan {
         }
     }
 
+    /// Convert scenario-file fault specs (plain seconds, already
+    /// `validate()`d at parse time) into a plan. The wire type lives in
+    /// `nostop-core` so scenario files can be parsed without this crate.
+    pub fn from_specs(specs: &[nostop_core::scenario::FaultSpec]) -> Self {
+        use nostop_core::scenario::FaultSpec;
+        let events = specs
+            .iter()
+            .map(|s| match *s {
+                FaultSpec::ExecutorCrash {
+                    at_s,
+                    count,
+                    relaunch_after_s,
+                } => FaultEvent::ExecutorCrash {
+                    at: SimTime::from_secs_f64(at_s),
+                    count,
+                    relaunch_after: relaunch_after_s.map(SimDuration::from_secs_f64),
+                },
+                FaultSpec::NodeSlowdown {
+                    node,
+                    from_s,
+                    until_s,
+                    factor,
+                } => FaultEvent::NodeSlowdown {
+                    node,
+                    from: SimTime::from_secs_f64(from_s),
+                    until: SimTime::from_secs_f64(until_s),
+                    factor,
+                },
+                FaultSpec::ReceiverOutage { from_s, until_s } => FaultEvent::ReceiverOutage {
+                    from: SimTime::from_secs_f64(from_s),
+                    until: SimTime::from_secs_f64(until_s),
+                },
+                FaultSpec::TaskFailures {
+                    from_s,
+                    until_s,
+                    probability,
+                } => FaultEvent::TaskFailures {
+                    from: SimTime::from_secs_f64(from_s),
+                    until: SimTime::from_secs_f64(until_s),
+                    probability,
+                },
+            })
+            .collect();
+        FaultPlan::new(events)
+    }
+
     /// Override the per-task retry bound.
     pub fn with_max_task_retries(mut self, retries: u32) -> Self {
         self.max_task_retries = retries;

@@ -70,7 +70,7 @@ use nostop_core::arbiter::{ArbiterPolicy, ResourceRequest};
 use nostop_core::controller::{NoStop, NoStopConfig, RoundOutcome};
 use nostop_core::space::{ConfigSpace, ParamSpec};
 use nostop_core::system::{BatchObservation, StreamingSystem};
-use nostop_datagen::rate::{tenant_seed, RateSpec};
+use nostop_datagen::rate::{tenant_seed, RateSpec, RateSpecExt};
 use nostop_obs::{track_name, Recorder};
 use nostop_simcore::{json, SimDuration, SimRng, SimTime};
 use nostop_workloads::WorkloadKind;
